@@ -1,0 +1,45 @@
+"""Figure 2 — theoretical traffic model on a 1024-node radix-32 fat-tree.
+
+Regenerates the paper's cost-model curve: total/node-boundary bandwidth of
+a P2P Allgather vs the multicast composition, sweeping the send size.
+Shape criterion: the node-boundary savings ratio equals 2 − 2/P and
+approaches 2× at the paper's 1024-node scale.
+"""
+
+from repro.bench import format_table, reference, report
+from repro.models import FatTreeTraffic
+from repro.units import KiB, MiB, pretty_bytes
+
+
+def compute_fig2(sizes=(64 * KiB, 256 * KiB, MiB, 8 * MiB)):
+    model = FatTreeTraffic(
+        n_hosts=reference.FIG2["n_hosts"], radix=reference.FIG2["radix"]
+    )
+    rows = []
+    for n in sizes:
+        p2p = model.p2p_node_bytes(n)
+        mc = model.mcast_node_bytes(n)
+        rows.append(
+            (
+                pretty_bytes(n),
+                pretty_bytes(p2p["tx"] + p2p["rx"]),
+                pretty_bytes(mc["tx"] + mc["rx"]),
+                round((p2p["tx"] + p2p["rx"]) / (mc["tx"] + mc["rx"]), 3),
+            )
+        )
+    return model, rows
+
+
+def test_fig02_traffic_model(benchmark):
+    model, rows = benchmark(compute_fig2)
+    report(
+        "fig02_traffic_model",
+        format_table(
+            ["send size", "P2P node bytes", "mcast node bytes", "savings"], rows
+        )
+        + f"\nfabric-level savings: {model.fabric_savings():.2f}x",
+    )
+    # Shape: savings = 2 - 2/P for every size, ≈ 2 at 1024 nodes.
+    for row in rows:
+        assert abs(row[3] - (2 - 2 / 1024)) < 1e-3
+    assert model.fabric_savings() > 1.5

@@ -1,0 +1,35 @@
+"""Figure 7 — bitmap and receive-buffer sizing vs PSN bits.
+
+Regenerates the sizing curves and checks the §III-D claim: a bitmap that
+fits the DPA's 1.5 MB LLC addresses an Allgather receive buffer of
+≈ 50 GB at 4 KiB chunks.
+"""
+
+from repro.bench import format_table, reference, report
+from repro.models import DEVICE_MEMORY, bitmap_bytes, max_receive_buffer
+from repro.models.memory import fig7_rows
+from repro.units import GiB, pretty_bytes
+
+
+def compute_fig7():
+    return fig7_rows(chunk_bytes=4096, bits=range(10, 31, 2))
+
+
+def test_fig07_bitmap_memory(benchmark):
+    rows = benchmark(compute_fig7)
+    table = [
+        (bits, pretty_bytes(bm), pretty_bytes(buf)) for bits, bm, buf in rows
+    ]
+    llc = DEVICE_MEMORY["DPA LLC"]
+    fitting = max(b for b in range(10, 31) if bitmap_bytes(b) <= llc)
+    addressable = max_receive_buffer(fitting, 4096)
+    report(
+        "fig07_bitmap_memory",
+        format_table(["PSN bits", "bitmap", "max recv buffer"], table)
+        + f"\nLLC-resident bitmap ({pretty_bytes(llc)}): {fitting} PSN bits "
+        f"→ {pretty_bytes(addressable)} addressable",
+    )
+    # Shape: doubling per bit; LLC addresses ~50 GB (paper §III-D).
+    assert rows[1][2] == 4 * rows[0][2]
+    assert 30 * GiB < addressable < 70 * GiB
+    assert addressable >= reference.FIG7["llc_addressable_buffer_approx"] * 0.6

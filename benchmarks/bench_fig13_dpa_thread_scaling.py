@@ -1,0 +1,41 @@
+"""Figure 13 — receive throughput vs DPA thread count (8 MiB / 4 KiB).
+
+Shape criteria: UC saturates the 200 Gbit/s link with 4 threads, UD needs
+8–16; both plateaus fit within a single DPA core's 16 hardware threads
+and beat the single-CPU-core baseline by ≥ 25 %.
+"""
+
+from repro.bench import format_table, reference, report
+from repro.dpa import cpu_datapath_throughput, dpa_thread_scaling
+from repro.units import MiB, to_gbit_per_s
+
+THREADS = (1, 2, 4, 8, 16)
+
+
+def compute_fig13():
+    return {
+        "uc": dpa_thread_scaling("uc", THREADS),
+        "ud": dpa_thread_scaling("ud", THREADS),
+        "cpu": cpu_datapath_throughput("rc_chunked", 8 * MiB),
+    }
+
+
+def test_fig13_dpa_thread_scaling(benchmark):
+    data = benchmark.pedantic(compute_fig13, rounds=1, iterations=1)
+    rows = [
+        (t, round(to_gbit_per_s(data["uc"][t]), 1), round(to_gbit_per_s(data["ud"][t]), 1))
+        for t in THREADS
+    ]
+    cpu_g = to_gbit_per_s(data["cpu"])
+    report(
+        "fig13_dpa_thread_scaling",
+        format_table(["threads", "UC Gbit/s", "UD Gbit/s"], rows)
+        + f"\nsingle CPU core baseline: {cpu_g:.1f} Gbit/s",
+    )
+    goodput = 200e9 / 8 * 4096 / 4160
+    assert data["uc"][reference.FIG13["uc_threads_to_line_rate"]] > goodput * 0.95
+    lo, hi = reference.FIG13["ud_threads_to_line_rate_range"]
+    assert data["ud"][lo // 2] < goodput * 0.95  # below the needed range: not enough
+    assert data["ud"][hi] > goodput * 0.95
+    # One DPA core (16 threads) beats the CPU core by ≥ 25 %.
+    assert data["ud"][16] > data["cpu"] * 1.2

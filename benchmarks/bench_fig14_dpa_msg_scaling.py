@@ -1,0 +1,54 @@
+"""Figure 14 — DPA throughput scaling with 4 KiB chunks across buffer
+sizes and thread counts.
+
+Shape criteria: throughput grows with buffer size (activation overhead
+amortizes) and with threads until the link saturates; UD trails UC at
+equal thread counts.
+"""
+
+from repro.bench import format_table, report
+from repro.dpa import dpa_throughput
+from repro.units import KiB, MiB, pretty_bytes, to_gbit_per_s
+
+BUFFERS = (256 * KiB, MiB, 4 * MiB, 8 * MiB)
+THREADS = (2, 8)
+
+
+def compute_fig14():
+    out = {}
+    for transport in ("uc", "ud"):
+        for t in THREADS:
+            out[(transport, t)] = [
+                dpa_throughput(transport, t, buffer_bytes=b) for b in BUFFERS
+            ]
+    return out
+
+
+def test_fig14_dpa_msg_scaling(benchmark):
+    data = benchmark.pedantic(compute_fig14, rounds=1, iterations=1)
+    rows = []
+    for i, b in enumerate(BUFFERS):
+        rows.append(
+            (
+                pretty_bytes(b),
+                round(to_gbit_per_s(data[("uc", 2)][i]), 1),
+                round(to_gbit_per_s(data[("uc", 8)][i]), 1),
+                round(to_gbit_per_s(data[("ud", 2)][i]), 1),
+                round(to_gbit_per_s(data[("ud", 8)][i]), 1),
+            )
+        )
+    report(
+        "fig14_dpa_msg_scaling",
+        format_table(
+            ["buffer", "UC 2thr", "UC 8thr", "UD 2thr", "UD 8thr"], rows
+        ),
+    )
+    for key, series in data.items():
+        # Monotone non-decreasing in buffer size.
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:])), key
+    # UD trails UC at the same (small) thread count.
+    assert data[("ud", 2)][-1] < data[("uc", 2)][-1]
+    # 8 threads reach line rate for both at 8 MiB.
+    goodput = 200e9 / 8 * 4096 / 4160
+    assert data[("uc", 8)][-1] > goodput * 0.9
+    assert data[("ud", 8)][-1] > goodput * 0.9

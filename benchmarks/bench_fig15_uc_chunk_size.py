@@ -1,0 +1,39 @@
+"""Figure 15 — UC multicast with multi-packet chunks (8 MiB buffer).
+
+UC supports arbitrary-length RDMA writes, so a chunk (one CQE) can span
+many MTU packets.  Shape criterion: larger chunks reach line rate with
+fewer threads — 64 KiB chunks need a single thread.
+"""
+
+from repro.bench import format_table, reference, report
+from repro.dpa import uc_chunk_size_sweep
+from repro.units import KiB, pretty_bytes, to_gbit_per_s
+
+CHUNKS = (4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB)
+THREADS = (1, 2, 4)
+
+
+def compute_fig15():
+    return uc_chunk_size_sweep(chunk_sizes=CHUNKS, threads=THREADS)
+
+
+def test_fig15_uc_chunk_size(benchmark):
+    sweep = benchmark.pedantic(compute_fig15, rounds=1, iterations=1)
+    rows = [
+        (pretty_bytes(c), *(round(to_gbit_per_s(sweep[c][t]), 1) for t in THREADS))
+        for c in CHUNKS
+    ]
+    report(
+        "fig15_uc_chunk_size",
+        format_table(["chunk", *(f"{t} thr" for t in THREADS)], rows),
+    )
+    # Bigger chunks help at fixed thread count.
+    for t in THREADS:
+        series = [sweep[c][t] for c in CHUNKS]
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:]))
+    # 64 KiB chunks reach line rate with one thread (paper Fig 15).
+    big = reference.FIG15["big_chunk_single_thread_line_rate"]
+    goodput = 200e9 / 8 * big / (big + 64)
+    assert sweep[big][1] > goodput * 0.9
+    # 4 KiB chunks do not.
+    assert sweep[4 * KiB][1] < 200e9 / 8 * 0.6

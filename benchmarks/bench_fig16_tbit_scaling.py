@@ -1,0 +1,41 @@
+"""Figure 16 — scaling the receive datapath to 1.6 Tbit/s links.
+
+64 B chunks make CQEs arrive at the rate a 1.6 Tbit/s link would deliver
+4 KiB MTU packets (≈ 48.8 M/s).  Shape criteria: the sustained chunk rate
+scales with hardware threads, and 128 threads (half the DPA) sustain the
+Tbit-class target on the *current-generation* DPA.
+"""
+
+from repro.bench import format_table, reference, report
+from repro.dpa import chunk_rate_scaling
+
+THREADS = (1, 4, 16, 32, 64, 128)
+
+
+def compute_fig16():
+    return {
+        "ud": chunk_rate_scaling(threads=THREADS, transport="ud", n_items=16384),
+        "uc": chunk_rate_scaling(threads=THREADS, transport="uc", n_items=16384),
+    }
+
+
+def test_fig16_tbit_scaling(benchmark):
+    data = benchmark.pedantic(compute_fig16, rounds=1, iterations=1)
+    target = reference.FIG16["target_rate_chunks_per_s"]
+    rows = [
+        (t, f"{data['uc'][t] / 1e6:.1f}", f"{data['ud'][t] / 1e6:.1f}")
+        for t in THREADS
+    ]
+    report(
+        "fig16_tbit_scaling",
+        format_table(["threads", "UC Mchunks/s", "UD Mchunks/s"], rows)
+        + f"\n1.6 Tbit/s target: {target / 1e6:.1f} Mchunks/s",
+    )
+    for transport in ("ud", "uc"):
+        series = [data[transport][t] for t in THREADS]
+        assert all(b > a for a, b in zip(series, series[1:])), transport
+    # 128 threads sustain the 1.6 Tbit/s-equivalent arrival rate.
+    assert data["ud"][128] > target
+    assert data["uc"][128] > target
+    # 16 threads (one core) do not — the headroom is in the core count.
+    assert data["ud"][16] < target

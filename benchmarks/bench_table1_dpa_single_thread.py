@@ -1,0 +1,37 @@
+"""Table I — single DPA hardware-thread receive-datapath metrics.
+
+Regenerates throughput, instructions/CQE, cycles/CQE and IPC for the UD
+and UC datapaths (8 MiB receive buffer, 4 KiB chunks) and compares them
+against the paper's measured values.
+"""
+
+from repro.bench import paper_vs_measured, reference, report
+from repro.dpa import dpa_single_thread_metrics
+
+
+def compute_table1():
+    return {t: dpa_single_thread_metrics(t) for t in ("uc", "ud")}
+
+
+def test_table1_dpa_single_thread(benchmark):
+    metrics = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    rows = []
+    for t in ("uc", "ud"):
+        ref = reference.TABLE1[t]
+        m = metrics[t]
+        rows += [
+            (f"{t} throughput GiB/s", ref["throughput_gib_s"],
+             round(m.throughput_gib_s, 1)),
+            (f"{t} instructions/CQE", ref["instr_per_cqe"], m.instructions_per_cqe),
+            (f"{t} cycles/CQE", ref["cycles_per_cqe"], m.cycles_per_cqe),
+            (f"{t} IPC", ref["ipc"], m.ipc),
+        ]
+    report("table1_dpa_single_thread", paper_vs_measured(rows))
+    uc, ud = metrics["uc"], metrics["ud"]
+    # Exact calibration on the counter metrics:
+    assert uc.instructions_per_cqe == 66 and uc.cycles_per_cqe == 598
+    assert ud.instructions_per_cqe == 113 and ud.cycles_per_cqe == 1084
+    assert abs(uc.ipc - 0.11) < 0.01 and abs(ud.ipc - 0.10) < 0.01
+    # Throughput shape: UC ≈ 2x UD; both within 15 % of the paper.
+    assert abs(uc.throughput_gib_s - 11.9) / 11.9 < 0.15
+    assert abs(ud.throughput_gib_s - 5.2) / 5.2 < 0.15

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""SmartNIC offload explorer: how many DPA threads does a link need?
+
+Walks the paper's DPA study interactively: single-thread metrics
+(Table I), thread scaling at 200 Gbit/s (Fig 13), chunk-size trade-offs
+(Fig 15), and the 1.6 Tbit/s projection (Fig 16).
+
+Run:  python examples/dpa_offload_explorer.py
+"""
+
+from repro.bench import format_table
+from repro.dpa import (
+    chunk_rate_scaling,
+    cpu_datapath_throughput,
+    dpa_single_thread_metrics,
+    dpa_thread_scaling,
+    uc_chunk_size_sweep,
+)
+from repro.units import KiB, MiB, pretty_bytes, to_gbit_per_s
+
+
+def main() -> None:
+    print("1. One hardware thread (Table I) — 8 MiB buffer, 4 KiB chunks")
+    rows = []
+    for t in ("uc", "ud"):
+        m = dpa_single_thread_metrics(t)
+        rows.append((t.upper(), f"{m.throughput_gib_s:.1f}",
+                     m.instructions_per_cqe, m.cycles_per_cqe, m.ipc))
+    print(format_table(
+        ["datapath", "GiB/s", "instr/CQE", "cycles/CQE", "IPC"], rows))
+    print("→ IPC ≈ 0.1: the datapath is ~90% memory stalls — exactly what "
+          "hardware\n  multithreading can hide.\n")
+
+    print("2. Thread scaling at 200 Gbit/s (Fig 13)")
+    threads = (1, 2, 4, 8, 16)
+    uc = dpa_thread_scaling("uc", threads)
+    ud = dpa_thread_scaling("ud", threads)
+    cpu = cpu_datapath_throughput("rc_chunked", 8 * MiB)
+    print(format_table(
+        ["threads", "UC Gbit/s", "UD Gbit/s"],
+        [(t, f"{to_gbit_per_s(uc[t]):.0f}", f"{to_gbit_per_s(ud[t]):.0f}")
+         for t in threads]))
+    print(f"→ single x86 core: {to_gbit_per_s(cpu):.0f} Gbit/s — one DPA "
+          f"core (16 threads, 1/16 of the\n  accelerator) beats it by "
+          f"{ud[16] / cpu:.2f}x.\n")
+
+    print("3. UC multi-packet chunks (Fig 15) — fewer CQEs per byte")
+    sweep = uc_chunk_size_sweep(chunk_sizes=(4 * KiB, 16 * KiB, 64 * KiB),
+                                threads=(1, 2))
+    print(format_table(
+        ["chunk", "1 thread", "2 threads"],
+        [(pretty_bytes(c),
+          f"{to_gbit_per_s(sweep[c][1]):.0f} Gbit/s",
+          f"{to_gbit_per_s(sweep[c][2]):.0f} Gbit/s") for c in sweep]))
+    print("→ 64 KiB chunks hit line rate with ONE thread.\n")
+
+    print("4. Scaling to 1.6 Tbit/s links (Fig 16) — 64 B chunks emulate "
+          "the CQE arrival\n   rate of 4 KiB packets on a Tbit link "
+          "(≈ 48.8 M/s)")
+    rates = chunk_rate_scaling(threads=(16, 64, 128), n_items=16384)
+    target = 1600e9 / 8 / 4096
+    print(format_table(
+        ["threads", "Mchunks/s", "sustains 1.6 Tbit/s?"],
+        [(t, f"{r / 1e6:.1f}", "yes" if r > target else "no")
+         for t, r in rates.items()]))
+    print("→ half of today's DPA already keeps up with a 1.6 Tbit/s link.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reliability slow path under fabric faults (paper §III-C).
+
+Injects packet drops and adaptive-routing reordering into the fabric and
+broadcasts through it.  The multicast fast path delivers what survives;
+the cutoff timer fires; missing chunks are fetched from ring neighbors
+with selective RDMA READs — and the data always arrives intact.
+
+Run:  python examples/fault_injection.py
+"""
+
+import numpy as np
+
+from repro import Communicator, Fabric, FaultSpec, RandomStreams, Simulator, Topology
+from repro.units import KiB, gbit_per_s
+
+
+def run_case(name, fault_factory, seed=7):
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.leaf_spine(8, 2, 2),
+                    link_bandwidth=gbit_per_s(56), streams=RandomStreams(seed))
+    fabric.set_fault_all(fault_factory)
+    comm = Communicator(fabric)
+    data = np.random.default_rng(seed).integers(0, 256, 256 * KiB, dtype=np.uint8)
+    result = comm.broadcast(0, data)
+    ok = result.verify_broadcast(data)
+    print(f"{name: <42} "
+          f"drops={result.traffic['fabric_drops']:>3}  "
+          f"recovered={result.counter_total('recovered_chunks'):>3}  "
+          f"recoveries={result.counter_total('recoveries'):>2}  "
+          f"time={result.duration * 1e6:7.1f} µs  "
+          f"data={'OK' if ok else 'CORRUPT'}")
+    assert ok
+
+
+def main() -> None:
+    print("Broadcast of 256 KiB across 8 hosts under injected faults:\n")
+    run_case("lossless fabric (baseline)", lambda s, d: None)
+    run_case("drop 0.5% of multicast datagrams",
+             lambda s, d: FaultSpec(drop_prob=0.005))
+    run_case("drop 5% of multicast datagrams",
+             lambda s, d: FaultSpec(drop_prob=0.05))
+    run_case("adaptive routing: 20 µs reorder jitter",
+             lambda s, d: FaultSpec(reorder_jitter=20e-6))
+    run_case("3% drops + 10 µs reordering",
+             lambda s, d: FaultSpec(drop_prob=0.03, reorder_jitter=10e-6))
+    # A pathological case: the same chunks dropped toward *adjacent* ranks,
+    # forcing the recursive fetch chain (a rank fetches from a neighbor
+    # that is itself still recovering).
+    def adjacent_drops(src, dst):
+        if dst in ("h1", "h2"):
+            return FaultSpec(drop_packet_seqs={0, 1, 2})
+        return None
+
+    run_case("same chunks lost at adjacent ranks", adjacent_drops)
+    print("\nEvery case delivered bit-identical data: the fast path is "
+          "lossless most of the\ntime, and the ring fetch layer repairs "
+          "the rest without incasting the root.")
+
+
+if __name__ == "__main__":
+    main()

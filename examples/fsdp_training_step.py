@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""FSDP interleaving: concurrent Allgather + Reduce-Scatter (Appendix B).
+
+In Fully Sharded Data Parallel training, the Allgather prefetching the
+next layer's parameters overlaps the Reduce-Scatter of the previous
+layer's gradients — and both compete for NIC bandwidth.  This example
+runs that scenario on the simulated fabric in two configurations:
+
+* ``ring``    — ring Allgather + ring Reduce-Scatter (NCCL-style),
+* ``optimal`` — multicast Allgather (the paper's protocol) + SHARP-like
+  in-network-compute Reduce-Scatter,
+
+and reports the measured speedup against the paper's ``S = 2 − 2/P``.
+
+Run:  python examples/fsdp_training_step.py
+"""
+
+from repro.bench import coarse_config, format_table, make_fabric
+from repro.models import concurrent_speedup
+from repro.units import KiB
+from repro.workloads import run_concurrent_pair
+
+LAYER_SHARD = 64 * KiB  # per-rank parameter shard per "layer"
+CHUNK = 16 * KiB
+
+
+def main() -> None:
+    rows = []
+    for p in (4, 8, 16):
+        ring = run_concurrent_pair(make_fabric(p, mtu=CHUNK), "ring", LAYER_SHARD)
+        optimal = run_concurrent_pair(
+            make_fabric(p, mtu=CHUNK), "optimal", LAYER_SHARD,
+            config=coarse_config(CHUNK, n_chains=p),
+        )
+        assert ring.correct and optimal.correct, "data verification failed"
+        speedup = ring.makespan / optimal.makespan
+        rows.append(
+            (
+                p,
+                f"{ring.makespan * 1e6:.0f} µs",
+                f"{optimal.makespan * 1e6:.0f} µs",
+                f"{speedup:.2f}x",
+                f"{concurrent_speedup(p):.2f}x",
+            )
+        )
+    print("Concurrent {Allgather, Reduce-Scatter} — one FSDP layer step")
+    print(f"(Allgather shard {LAYER_SHARD // 1024} KiB per rank; "
+          "Reduce-Scatter input sized to match)\n")
+    print(
+        format_table(
+            ["ranks", "{ring, ring}", "{mcast, INC}", "measured speedup",
+             "paper S=2-2/P"],
+            rows,
+        )
+    )
+    print(
+        "\nThe bandwidth-optimal pair wins because the two collectives "
+        "stress opposite NIC\ndirections (Insight 2): the multicast "
+        "Allgather is receive-bound, the in-network\nReduce-Scatter is "
+        "send-bound — so they stop sharing a bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

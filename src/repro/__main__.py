@@ -1,0 +1,107 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart scenario: Broadcast + Allgather on a 16-host fat-tree,
+    verified, with timing and telemetry.
+``experiments``
+    List every paper table/figure and the benchmark that regenerates it.
+``speedup [P ...]``
+    Appendix B's concurrent {Allgather, Reduce-Scatter} speedup at the
+    given communicator sizes (default 4 8 16).
+``table1``
+    The DPA single-thread metrics of Table I.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def _demo() -> int:
+    from repro import Communicator, Fabric, Simulator, Topology
+    from repro.units import KiB, gbit_per_s, pretty_rate
+
+    fabric = Fabric(Simulator(), Topology.leaf_spine(16, 4, 2),
+                    link_bandwidth=gbit_per_s(56))
+    comm = Communicator(fabric)
+    data = [np.full(64 * KiB, r % 251, dtype=np.uint8) for r in range(comm.size)]
+    res = comm.allgather(data)
+    ok = res.verify_allgather(data)
+    print(f"allgather x{comm.size} of 64 KiB: {res.duration * 1e6:.1f} µs, "
+          f"{pretty_rate(res.throughput)}, data {'OK' if ok else 'CORRUPT'}")
+    return 0 if ok else 1
+
+
+def _experiments() -> int:
+    rows = [
+        ("Table I", "benchmarks/bench_table1_dpa_single_thread.py"),
+        ("Figure 2", "benchmarks/bench_fig02_traffic_model.py"),
+        ("Figure 3", "benchmarks/bench_fig03_node_boundary.py"),
+        ("Figure 5", "benchmarks/bench_fig05_cpu_vs_dpa.py"),
+        ("Figure 7", "benchmarks/bench_fig07_bitmap_memory.py"),
+        ("Figure 10", "benchmarks/bench_fig10_critical_path.py"),
+        ("Figure 11", "benchmarks/bench_fig11_throughput_188.py"),
+        ("Figure 12", "benchmarks/bench_fig12_traffic_savings.py"),
+        ("Figure 13", "benchmarks/bench_fig13_dpa_thread_scaling.py"),
+        ("Figure 14", "benchmarks/bench_fig14_dpa_msg_scaling.py"),
+        ("Figure 15", "benchmarks/bench_fig15_uc_chunk_size.py"),
+        ("Figure 16", "benchmarks/bench_fig16_tbit_scaling.py"),
+        ("Appendix B", "benchmarks/bench_appb_speedup.py"),
+        ("Ablation: chains", "benchmarks/bench_ablation_chains.py"),
+        ("Ablation: workers", "benchmarks/bench_ablation_workers.py"),
+    ]
+    width = max(len(a) for a, _ in rows)
+    for name, path in rows:
+        print(f"{name.ljust(width)}  pytest {path} --benchmark-only")
+    return 0
+
+
+def _speedup(args: list) -> int:
+    from repro.bench import coarse_config, make_fabric
+    from repro.models import concurrent_speedup
+    from repro.units import KiB
+    from repro.workloads import run_concurrent_pair
+
+    sizes = [int(a) for a in args] or [4, 8, 16]
+    chunk = 16 * KiB
+    for p in sizes:
+        ring = run_concurrent_pair(make_fabric(p, mtu=chunk), "ring", 64 * KiB)
+        opt = run_concurrent_pair(make_fabric(p, mtu=chunk), "optimal", 64 * KiB,
+                                  config=coarse_config(chunk, n_chains=p))
+        print(f"P={p}: measured {ring.makespan / opt.makespan:.2f}x, "
+              f"paper S=2-2/P = {concurrent_speedup(p):.2f}x")
+    return 0
+
+
+def _table1() -> int:
+    from repro.dpa import dpa_single_thread_metrics
+
+    for t in ("uc", "ud"):
+        m = dpa_single_thread_metrics(t)
+        print(f"{t.upper()}: {m.throughput_gib_s:.1f} GiB/s, "
+              f"{m.instructions_per_cqe} instr/CQE, "
+              f"{m.cycles_per_cqe} cycles/CQE, IPC {m.ipc}")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    cmd = argv[0] if argv else "demo"
+    if cmd == "demo":
+        return _demo()
+    if cmd == "experiments":
+        return _experiments()
+    if cmd == "speedup":
+        return _speedup(argv[1:])
+    if cmd == "table1":
+        return _table1()
+    print(__doc__)
+    return 0 if cmd in ("-h", "--help", "help") else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Shared machinery for the benchmark harness in ``benchmarks/``."""
+
+from repro.bench.runner import (
+    coarse_config,
+    format_table,
+    make_fabric,
+    paper_vs_measured,
+    report,
+)
+from repro.bench import reference
+
+__all__ = [
+    "coarse_config",
+    "format_table",
+    "make_fabric",
+    "paper_vs_measured",
+    "reference",
+    "report",
+]

@@ -1,0 +1,90 @@
+"""Digitized reference values from the paper's evaluation.
+
+Absolute numbers come from the authors' hardware (ConnectX-3 56 Gbit/s
+fabric, BlueField-3 DPA); our substrate is a simulator, so benches compare
+**shapes and ratios** against these, not absolute magnitudes.
+"""
+
+from repro.units import GiB, KiB, MiB
+
+# ----------------------------------------------------------------- Table I
+#: (throughput GiB/s, instructions/CQE, cycles/CQE, IPC) at 8 MiB / 4 KiB
+TABLE1 = {
+    "uc": {"throughput_gib_s": 11.9, "instr_per_cqe": 66, "cycles_per_cqe": 598,
+           "ipc": 0.11},
+    "ud": {"throughput_gib_s": 5.2, "instr_per_cqe": 113, "cycles_per_cqe": 1084,
+           "ipc": 0.10},
+}
+
+# ------------------------------------------------------------------- Fig 2
+FIG2 = {
+    "n_hosts": 1024,
+    "radix": 32,
+    "savings_at_scale": 2.0,  # node-boundary traffic ratio → 2
+}
+
+# ------------------------------------------------------------------- Fig 5
+FIG5 = {
+    "link_gbit": 200,
+    # one server-grade core cannot reach line rate:
+    "single_core_below_line_rate": True,
+}
+
+# ------------------------------------------------------------------ Fig 10
+FIG10 = {
+    # ≥16 nodes: 99 % of progress-path time is the multicast datapath
+    "datapath_fraction_at_16_nodes": 0.99,
+}
+
+# ------------------------------------------------------------------ Fig 11
+FIG11 = {
+    "n_nodes": 188,
+    "bcast_vs_knomial_speedup": 1.3,
+    "bcast_vs_bintree_speedup": 4.75,
+    # 128–256 KiB allgather: multicast ≈ ring throughput
+    "ag_mcast_vs_ring_band": (0.8, 1.3),
+    "fsdp_typical_sizes": (128 * KiB, 256 * KiB),
+}
+
+# ------------------------------------------------------------------ Fig 12
+FIG12 = {
+    "msg_bytes": 64 * KiB,
+    "iterations": 10,
+    "allgather_savings": 2.0,  # vs P2P, across 18 switch telemetry
+    "broadcast_savings": 1.5,
+    "savings_range": (1.5, 2.0),
+}
+
+# ------------------------------------------------------------- Figs 13/14
+FIG13 = {
+    "buffer_bytes": 8 * MiB,
+    "chunk_bytes": 4 * KiB,
+    "uc_threads_to_line_rate": 4,
+    "ud_threads_to_line_rate_range": (8, 16),
+    "one_core_vs_cpu_core_speedup": 1.25,
+}
+
+# ------------------------------------------------------------------ Fig 15
+FIG15 = {
+    "buffer_bytes": 8 * MiB,
+    # larger chunks → line rate with fewer threads
+    "big_chunk_single_thread_line_rate": 64 * KiB,
+}
+
+# ------------------------------------------------------------------ Fig 16
+FIG16 = {
+    "chunk_bytes": 64,
+    "target_rate_chunks_per_s": 1600e9 / 8 / 4096,  # ≈ 48.8 M/s
+    "threads_sustaining": 128,
+}
+
+# -------------------------------------------------------------- Appendix B
+APPENDIX_B = {
+    "speedup": lambda p: 2.0 - 2.0 / p,
+}
+
+# ------------------------------------------------------------------- Fig 7
+FIG7 = {
+    "dpa_llc_bytes": int(1.5 * MiB),
+    "llc_addressable_buffer_approx": 50 * GiB,
+}

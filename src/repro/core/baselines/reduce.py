@@ -1,0 +1,218 @@
+"""Reduce-Scatter: the ring baseline and the in-network-compute version.
+
+Reduce-Scatter is multicast Allgather's pipeline companion in FSDP
+(paper §II-A): gradients are reduced and sharded after the backward pass.
+Appendix B shows the {AG_mc, RS_inc} pair is up to ``2 − 2/P`` times
+faster than {AG_ring, RS_ring} because the two bandwidth-optimal
+algorithms stress *opposite* NIC directions.
+
+Both implementations reduce real float32 data, so tests verify sums.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines.base import BaselineResult, P2PNet, run_baseline
+from repro.core.costmodel import HostCostModel
+from repro.net.fabric import Fabric
+from repro.net.nic import RecvWR, Transport
+from repro.sim.events import Timeout
+from repro.units import gib_per_s
+
+__all__ = ["ring_reduce_scatter", "inc_reduce_scatter"]
+
+#: software reduction bandwidth (vectorized FMA on one core, DRAM bound)
+REDUCE_BW = gib_per_s(20)
+
+
+def _check_inputs(send_data: Sequence[np.ndarray], p: int) -> np.ndarray:
+    arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1) for d in send_data]
+    n = arrays[0].size
+    if any(a.size != n for a in arrays):
+        raise ValueError("all contributions must have the same length")
+    if n % p:
+        raise ValueError(f"element count {n} must divide evenly into {p} shards")
+    return arrays
+
+
+def ring_reduce_scatter(
+    fabric: Fabric,
+    send_data: Sequence[np.ndarray],
+    hosts: Optional[Sequence[int]] = None,
+    cost: Optional[HostCostModel] = None,
+    defer: bool = False,
+):
+    """Ring Reduce-Scatter: P−1 steps; rank *r* ends with shard *r* reduced.
+
+    Step *s*: send partial shard ``(r−s−1) mod P`` right, receive shard
+    ``(r−s−2) mod P`` from the left into a scratch slot, accumulate.
+    """
+    net = P2PNet(fabric, hosts, cost)
+    p = net.size
+    arrays = _check_inputs(send_data, p)
+    elems = arrays[0].size
+    shard = elems // p
+    shard_bytes = shard * 4
+    buffers: List[np.ndarray] = []
+    f32_views: List[np.ndarray] = []
+    for r in range(p):
+        # Layout: P working shards + 1 scratch slot for the incoming block.
+        buf = np.zeros((p + 1) * shard_bytes, dtype=np.uint8)
+        f32 = buf.view(np.float32)
+        f32[: p * shard] = arrays[r]
+        net.register(r, buf)
+        buffers.append(buf)
+        f32_views.append(f32)
+    if p == 1:
+        res = run_baseline(fabric, "ring_reduce_scatter", "reduce_scatter",
+                           net.hosts, shard_bytes, buffers, [_noop(net)])
+        res.buffers = [f32_views[0][:shard].copy()]
+        return res
+    scratch_off = p * shard_bytes
+
+    def rank_proc(r: int):
+        right = (r + 1) % p
+        left = (r - 1) % p
+        net.qp(r, right)
+        net.qp(r, left)
+        f32 = f32_views[r]
+        cq = net.recv_cq(r)
+        # Credits guard the single scratch slot: the right neighbor grants
+        # one credit (a 0-byte write-with-imm) after it has drained its
+        # scratch, so a slow rank backpressures its sender (RTS/CTS).
+        state = {"data": 0, "credit": 1}
+
+        def wait_for(kind):
+            while state[kind] == 0:
+                yield cq.wait()
+                for cqe in cq.poll():
+                    yield Timeout(net.sim, net.cost.cqe_poll + net.cost.cqe_process)
+                    net.repost_dummy(r, cqe)
+                    state["data" if cqe.byte_len else "credit"] += 1
+            state[kind] -= 1
+
+        for step in range(p - 1):
+            yield from wait_for("credit")
+            send_blk = (r - step - 1) % p
+            recv_blk = (r - step - 2) % p
+            yield from net.write(r, right, send_blk * shard_bytes, shard_bytes,
+                                 imm=step, remote_offset=scratch_off)
+            yield from wait_for("data")
+            # Accumulate the incoming partial into our working shard.
+            yield Timeout(net.sim, shard_bytes / REDUCE_BW)
+            lo = recv_blk * shard
+            f32[lo : lo + shard] += f32[p * shard : p * shard + shard]
+            if step < p - 2:
+                yield from net.write(r, left, 0, 0, imm=step)  # grant credit
+            yield from net.drain_send_cq(r, right, 1)
+        return net.sim.now
+
+    pending = run_baseline(fabric, "ring_reduce_scatter", "reduce_scatter",
+                           net.hosts, p * shard_bytes, buffers,
+                           [rank_proc(r) for r in range(p)], defer=True)
+
+    def _expose_shards(res):
+        # Expose each rank's reduced shard as its buffer.
+        res.buffers = [f32_views[r][r * shard : (r + 1) * shard].copy()
+                       for r in range(p)]
+        return res
+
+    pending.postprocess = _expose_shards
+    return pending if defer else pending.finish()
+
+
+def inc_reduce_scatter(
+    fabric: Fabric,
+    send_data: Sequence[np.ndarray],
+    hosts: Optional[Sequence[int]] = None,
+    cost: Optional[HostCostModel] = None,
+    segment_bytes: int = 4096,
+    defer: bool = False,
+):
+    """SHARP-like Reduce-Scatter on the switch-reduction substrate.
+
+    Each rank injects its whole contribution once (N bytes up); the tree
+    reduces; each rank receives only its shard (N/P down) — the traffic
+    profile of paper Fig 3's "INC" column.
+    """
+    net = P2PNet(fabric, hosts, cost)
+    p = net.size
+    if p < 2:
+        raise ValueError("INC reduce-scatter needs at least 2 ranks")
+    if net.hosts != sorted(net.hosts):
+        raise ValueError("INC reduce-scatter requires hosts in ascending order "
+                         "(shard ownership follows host order)")
+    arrays = _check_inputs(send_data, p)
+    elems = arrays[0].size
+    shard = elems // p
+    shard_bytes = shard * 4
+    cost_model = net.cost
+
+    # Receive shard buffers under the symmetric rkey + notification QPs.
+    buffers: List[np.ndarray] = []
+    qps = {}
+    for r in range(p):
+        buf = np.zeros(shard_bytes, dtype=np.uint8)
+        net.register(r, buf)
+        buffers.append(buf)
+        nic = net.nic(r)
+        qp = nic.create_qp(Transport.RC, recv_cq=net.recv_cq(r))
+        dummy = nic.memory.register(1)
+        for i in range(64):
+            qp.post_recv(RecvWR(wr_id=i, mr_key=dummy.key, offset=0, length=0))
+        qps[r] = (qp, dummy.key)
+
+    tree = fabric.create_inc_tree(
+        members=[net.hosts[r] for r in range(p)],
+        rkey=net.rkey,
+        qpn_of={net.hosts[r]: qps[r][0].qpn for r in range(p)},
+        shard_bytes=shard_bytes,
+        segment_bytes=segment_bytes,
+    )
+
+    def rank_proc(r: int):
+        data = arrays[r].view(np.uint8)
+        # Inject every segment of the full contribution, batched like the
+        # multicast send path and *paced at link rate* (real NICs arbitrate
+        # the wire; an instantaneous post of the whole buffer would starve
+        # concurrent collectives behind an infinite FIFO).
+        for psn in range(tree.n_segments):
+            owner, off = tree.owner_of(psn)
+            seg_len = tree.seg_len(psn)
+            src_off = (tree.members.index(owner) * shard_bytes) + off
+            if psn % 32 == 0:
+                yield Timeout(net.sim, cost_model.send_batch(min(32, tree.n_segments - psn)))
+            finish = tree.inject(net.hosts[r], psn, data[src_off : src_off + seg_len])
+            if finish > net.sim.now:
+                yield Timeout(net.sim, finish - net.sim.now)
+        # Await our own shard's segments.
+        expected = tree.segs_per_shard
+        got = 0
+        cq = net.recv_cq(r)
+        qp, dummy_key = qps[r]
+        while got < expected:
+            yield cq.wait()
+            for cqe in cq.poll():
+                yield Timeout(net.sim, cost_model.cqe_poll + cost_model.cqe_process)
+                qp.post_recv(RecvWR(wr_id=cqe.wr_id, mr_key=dummy_key, offset=0, length=0))
+                got += 1
+        return net.sim.now
+
+    pending = run_baseline(fabric, "inc_reduce_scatter", "reduce_scatter",
+                           net.hosts, p * shard_bytes, buffers,
+                           [rank_proc(r) for r in range(p)], defer=True)
+
+    def _expose_shards(res):
+        res.buffers = [buf.view(np.float32).copy() for buf in buffers]
+        return res
+
+    pending.postprocess = _expose_shards
+    return pending if defer else pending.finish()
+
+
+def _noop(net: P2PNet):
+    yield net.sim.timeout(0.0)
+    return net.sim.now

@@ -1,0 +1,112 @@
+"""Buffer fragmentation and immediate-data encoding.
+
+The Broadcast root chunks its send buffer into MTU-sized datagrams and
+tags each with a packet sequence number (PSN) carried in the 32-bit
+immediate field of the RDMA send (paper §III-A).  The receive side uses
+the PSN to place the chunk and to index the reliability bitmap — this is
+what makes the datapath tolerant of out-of-order delivery.
+
+:class:`ImmLayout` splits the 32 immediate bits between the PSN and a
+collective id (paper Fig 7 analyses this trade-off: more PSN bits address
+a larger receive buffer; the remaining bits distinguish concurrent
+collectives).  :class:`ChunkPlan` enumerates chunk boundaries for a buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["ImmLayout", "ChunkPlan"]
+
+IMM_BITS = 32
+
+
+@dataclass(frozen=True)
+class ImmLayout:
+    """Bit allocation inside the 32-bit CQE immediate value.
+
+    ``psn_bits`` low bits carry the chunk index within the collective's
+    receive buffer; the remaining high bits carry the collective id.
+    """
+
+    psn_bits: int = 24
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.psn_bits <= IMM_BITS:
+            raise ValueError("psn_bits must be within [1, 32]")
+
+    @property
+    def id_bits(self) -> int:
+        return IMM_BITS - self.psn_bits
+
+    @property
+    def max_psns(self) -> int:
+        """Number of addressable chunks."""
+        return 1 << self.psn_bits
+
+    @property
+    def max_collectives(self) -> int:
+        """Number of distinguishable concurrent collectives."""
+        return 1 << self.id_bits
+
+    def max_buffer_bytes(self, chunk_size: int) -> int:
+        """Largest receive buffer addressable with this layout (Fig 7)."""
+        return self.max_psns * chunk_size
+
+    def bitmap_bytes(self) -> int:
+        """Bitmap size needed to track every addressable PSN (Fig 7)."""
+        return self.max_psns // 8
+
+    # -------------------------------------------------------------- encoding
+
+    def encode(self, psn: int, coll_id: int = 0) -> int:
+        if not 0 <= psn < self.max_psns:
+            raise ValueError(f"PSN {psn} out of range for {self.psn_bits} bits")
+        if not 0 <= coll_id < self.max_collectives:
+            raise ValueError(f"collective id {coll_id} out of range for {self.id_bits} bits")
+        return (coll_id << self.psn_bits) | psn
+
+    def decode(self, imm: int) -> Tuple[int, int]:
+        """``imm`` → ``(psn, coll_id)``."""
+        if not 0 <= imm < (1 << IMM_BITS):
+            raise ValueError("immediate value must fit in 32 bits")
+        return imm & (self.max_psns - 1), imm >> self.psn_bits
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Chunk boundaries of a buffer: ``n_chunks`` pieces of ``chunk_size``
+    (the final chunk may be short).  Fragmentation is zero-copy: consumers
+    slice views out of the registered buffer using these bounds."""
+
+    buffer_len: int
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        if self.buffer_len < 0:
+            raise ValueError("buffer_len must be non-negative")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self.buffer_len // self.chunk_size) if self.buffer_len else 0
+
+    def bounds(self, i: int) -> Tuple[int, int]:
+        """``(offset, length)`` of chunk *i*."""
+        if not 0 <= i < self.n_chunks:
+            raise IndexError(f"chunk {i} out of range (n_chunks={self.n_chunks})")
+        off = i * self.chunk_size
+        return off, min(self.chunk_size, self.buffer_len - off)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(psn, offset, length)`` triples."""
+        for i in range(self.n_chunks):
+            off, ln = self.bounds(i)
+            yield i, off, ln
+
+    def chunk_of_offset(self, offset: int) -> int:
+        if not 0 <= offset < max(self.buffer_len, 1):
+            raise IndexError("offset outside buffer")
+        return offset // self.chunk_size

@@ -1,0 +1,422 @@
+"""User-facing collective API.
+
+A :class:`Communicator` groups a set of fabric hosts, builds the protocol
+resources (multicast subgroups, progress engines, control plane) and
+exposes Broadcast and Allgather — synchronous wrappers plus ``*_async``
+variants that return an :class:`OpHandle`, letting callers overlap several
+collectives (the FSDP interleaving scenario of paper §II-A).
+
+Example
+-------
+::
+
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.leaf_spine(16, 2, 2))
+    comm = Communicator(fabric)
+    data = [np.full(64 * 1024, r, dtype=np.uint8) for r in range(comm.size)]
+    result = comm.allgather(data)
+    assert result.verify_allgather(data)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.chunking import ChunkPlan, ImmLayout
+from repro.core.costmodel import HostCostModel
+from repro.core.ops import OpState, RKEY_BASE
+from repro.core.progress import RankEngine
+from repro.core.sequencer import BroadcastSequencer
+from repro.core.subgroups import SubgroupPlan
+from repro.net.fabric import Fabric
+from repro.net.nic import QueuePair, Transport
+from repro.sim.events import AllOf
+
+__all__ = [
+    "CollectiveConfig",
+    "Communicator",
+    "OpHandle",
+    "PhaseBreakdown",
+    "RankStats",
+    "CollectiveResult",
+]
+
+
+@dataclass
+class CollectiveConfig:
+    """Tunables of the multicast collective stack (paper §IV–V)."""
+
+    #: chunk/datagram payload size; must be ≤ fabric MTU for UD transport
+    chunk_size: int = 4096
+    #: multicast subgroups — packet parallelism (§IV-C)
+    n_subgroups: int = 1
+    #: receive workers (default: one per subgroup, the paper's mapping)
+    recv_workers: Optional[int] = None
+    #: parallel broadcast chains M in the Allgather sequencer (§IV-A)
+    n_chains: int = 1
+    #: 'ud' (staging + copy) or 'uc' (direct placement, §V-B)
+    transport: str = "ud"
+    #: multicast send requests per doorbell (§V-A batching)
+    batch_size: int = 32
+    #: bounded in-flight batches on the send path
+    max_outstanding_batches: int = 4
+    #: staging-ring slots per subgroup (receive queue depth)
+    staging_slots: int = 256
+    #: immediate-data bits allocated to the PSN (Fig 7 trade-off)
+    psn_bits: int = 24
+    #: cutoff-timer slack α (§III-C): timeout = N/B_link + α
+    cutoff_alpha: float = 200e-6
+    #: re-arm slack between recovery rounds
+    recovery_alpha: float = 200e-6
+    #: software datapath cost model
+    cost: HostCostModel = field(default_factory=HostCostModel)
+
+    def validate(self, fabric: Fabric) -> None:
+        if self.transport not in ("ud", "uc"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.transport == "ud" and self.chunk_size > fabric.mtu:
+            raise ValueError(
+                f"UD chunk_size {self.chunk_size} exceeds fabric MTU {fabric.mtu}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.n_subgroups < 1:
+            raise ValueError("n_subgroups must be >= 1")
+        if self.recv_workers is not None and self.recv_workers < 1:
+            raise ValueError("recv_workers must be >= 1")
+        if self.staging_slots < 1:
+            raise ValueError("staging_slots must be >= 1")
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-rank critical-path decomposition (paper Fig 10)."""
+
+    sync: float  #: RNR synchronization barrier
+    multicast: float  #: datapath (multicast + any recovery)
+    handshake: float  #: final handshake in the reliable ring
+    total: float
+
+    @property
+    def sync_fraction(self) -> float:
+        return self.sync / self.total if self.total else 0.0
+
+
+@dataclass
+class RankStats:
+    rank: int
+    phases: Dict[str, float]
+    breakdown: PhaseBreakdown
+    counters: Dict[str, int]
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective across all ranks."""
+
+    kind: str
+    comm_size: int
+    send_bytes: int  #: per-rank contribution (bcast: buffer size)
+    chunk_size: int
+    transport: str
+    t_begin: float
+    t_end: float
+    ranks: List[RankStats]
+    buffers: List[np.ndarray]
+    traffic: Dict[str, int]
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_begin
+
+    @property
+    def recv_bytes_per_rank(self) -> int:
+        if self.kind == "allgather":
+            return self.send_bytes * (self.comm_size - 1)
+        return self.send_bytes  # broadcast leaf
+
+    @property
+    def throughput(self) -> float:
+        """Per-process receive throughput in bytes/s (paper Fig 11 metric:
+        collective payload over completion time)."""
+        total = (
+            self.send_bytes * self.comm_size
+            if self.kind == "allgather"
+            else self.send_bytes
+        )
+        return total / self.duration if self.duration > 0 else float("inf")
+
+    def phase_means(self) -> PhaseBreakdown:
+        n = len(self.ranks)
+        return PhaseBreakdown(
+            sync=sum(r.breakdown.sync for r in self.ranks) / n,
+            multicast=sum(r.breakdown.multicast for r in self.ranks) / n,
+            handshake=sum(r.breakdown.handshake for r in self.ranks) / n,
+            total=sum(r.breakdown.total for r in self.ranks) / n,
+        )
+
+    def counter_total(self, name: str) -> int:
+        return sum(r.counters.get(name, 0) for r in self.ranks)
+
+    def verify_allgather(self, send_data: Sequence[np.ndarray]) -> bool:
+        expected = np.concatenate([np.ascontiguousarray(d).view(np.uint8).ravel()
+                                   for d in send_data])
+        return all(np.array_equal(buf, expected) for buf in self.buffers)
+
+    def verify_broadcast(self, data: np.ndarray) -> bool:
+        expected = np.ascontiguousarray(data).view(np.uint8).ravel()
+        return all(np.array_equal(buf, expected) for buf in self.buffers)
+
+
+class OpHandle:
+    """An in-flight collective: per-rank op states + an all-done event."""
+
+    def __init__(self, comm: "Communicator", kind: str, coll_id: int,
+                 ops: List[OpState], buffers: List[np.ndarray], send_bytes: int):
+        self.comm = comm
+        self.kind = kind
+        self.coll_id = coll_id
+        self.ops = ops
+        self.buffers = buffers
+        self.send_bytes = send_bytes
+        self.t_submit = comm.sim.now
+        self.done = AllOf(comm.sim, [op.op_done for op in ops])
+
+    @property
+    def complete(self) -> bool:
+        return self.done.triggered
+
+    def result(self, traffic: Optional[Dict[str, int]] = None) -> CollectiveResult:
+        if not self.complete:
+            raise RuntimeError("collective has not completed")
+        ranks = []
+        for op in self.ops:
+            ph = op.phases
+            breakdown = PhaseBreakdown(
+                sync=ph["sync"] - ph["start"],
+                multicast=ph["data"] - ph["sync"],
+                handshake=ph["final"] - ph["data"],
+                total=ph["final"] - ph["start"],
+            )
+            ranks.append(RankStats(op.rank, dict(ph), breakdown, dict(op.stats)))
+        t_begin = min(op.phases["start"] for op in self.ops)
+        t_end = max(op.phases["final"] for op in self.ops)
+        return CollectiveResult(
+            kind=self.kind,
+            comm_size=self.comm.size,
+            send_bytes=self.send_bytes,
+            chunk_size=self.comm.config.chunk_size,
+            transport=self.comm.config.transport,
+            t_begin=t_begin,
+            t_end=t_end,
+            ranks=ranks,
+            buffers=self.buffers,
+            traffic=traffic or {},
+        )
+
+
+class Communicator:
+    """A group of ranks with a shared multicast collective stack."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        hosts: Optional[Sequence[int]] = None,
+        config: Optional[CollectiveConfig] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.hosts: List[int] = list(hosts) if hosts is not None else list(range(fabric.n_hosts))
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError("duplicate hosts in communicator")
+        self.size = len(self.hosts)
+        self.config = config or CollectiveConfig()
+        self.config.validate(fabric)
+        self.imm = ImmLayout(self.config.psn_bits)
+        # Replicated multicast groups — the subgroups of §IV-C.
+        self.mcast_gids: List[int] = (
+            [fabric.create_mcast_group(self.hosts) for _ in range(self.config.n_subgroups)]
+            if self.size >= 2
+            else []
+        )
+        self._ctrl_pairs: Dict[tuple, QueuePair] = {}
+        self.engines: List[RankEngine] = []
+        for r in range(self.size):
+            self.engines.append(RankEngine(self, r))
+        self._coll_ids = itertools.count(0)
+        self._active: Dict[int, OpHandle] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def host_of(self, rank: int) -> int:
+        return self.hosts[rank]
+
+    def ensure_ctrl_pair(self, a: int, b: int) -> QueuePair:
+        """Return rank *a*'s control QP toward rank *b*, creating the
+        connected pair (and posting its receive slots) on first use."""
+        qp = self._ctrl_pairs.get((a, b))
+        if qp is not None:
+            return qp
+        ea, eb = self.engines[a], self.engines[b]
+        qa = ea.nic.create_qp(Transport.RC, recv_cq=ea.ctrl.recv_cq)
+        qb = eb.nic.create_qp(Transport.RC, recv_cq=eb.ctrl.recv_cq)
+        qa.connect(self.host_of(b), qb.qpn)
+        qb.connect(self.host_of(a), qa.qpn)
+        ea.ctrl.adopt_qp(b, qa)
+        eb.ctrl.adopt_qp(a, qb)
+        self._ctrl_pairs[(a, b)] = qa
+        self._ctrl_pairs[(b, a)] = qb
+        return qa
+
+    def _next_coll_id(self) -> int:
+        for _ in range(self.imm.max_collectives):
+            cid = next(self._coll_ids) % self.imm.max_collectives
+            if all(cid not in e.ops for e in self.engines):
+                return cid
+        raise RuntimeError("no free collective ids (too many in-flight collectives)")
+
+    @staticmethod
+    def _as_bytes(data: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(data)
+        return arr.reshape(-1).view(np.uint8)
+
+    # ------------------------------------------------------------ broadcast
+
+    def broadcast_async(self, root: int, data: np.ndarray) -> OpHandle:
+        """Start a Broadcast of *data* from rank *root*; returns a handle."""
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+        payload = self._as_bytes(data)
+        nbytes = payload.nbytes
+        if nbytes == 0:
+            raise ValueError("cannot broadcast an empty buffer")
+        cid = self._next_coll_id()
+        plan = ChunkPlan(nbytes, self.config.chunk_size)
+        if plan.n_chunks > self.imm.max_psns:
+            raise ValueError("buffer needs more PSNs than the immediate layout provides")
+        sub = SubgroupPlan(plan.n_chunks, self.config.n_subgroups)
+        ops, buffers = [], []
+        participants = list(range(self.size))
+        for r in range(self.size):
+            engine = self.engines[r]
+            if r == root:
+                buf = payload
+            else:
+                buf = np.zeros(nbytes, dtype=np.uint8)
+            mr = engine.nic.memory.register(buf, key=RKEY_BASE + cid)
+            op = OpState(
+                sim=self.sim, coll_id=cid, kind="broadcast", rank=r,
+                comm_size=self.size, mr=mr, plan=plan, subgroups=sub,
+                send_lo=0, send_hi=plan.n_chunks if r == root else 0, root=root,
+            )
+            engine.register_op(op)
+            self.sim.spawn(engine.run_op(op, participants), name=f"bcast-c{cid}-r{r}")
+            ops.append(op)
+            buffers.append(mr.buf)
+        handle = OpHandle(self, "broadcast", cid, ops, buffers, nbytes)
+        self._active[cid] = handle
+        return handle
+
+    # ------------------------------------------------------------ allgather
+
+    def allgather_async(self, send_data: Sequence[np.ndarray]) -> OpHandle:
+        """Start an Allgather; ``send_data[r]`` is rank *r*'s contribution.
+
+        All contributions must have equal byte size, divisible by the chunk
+        size so shard boundaries align with chunk boundaries.
+        """
+        if len(send_data) != self.size:
+            raise ValueError(f"need {self.size} send buffers, got {len(send_data)}")
+        payloads = [self._as_bytes(d) for d in send_data]
+        nbytes = payloads[0].nbytes
+        if nbytes == 0:
+            raise ValueError("cannot allgather empty buffers")
+        if any(p.nbytes != nbytes for p in payloads):
+            raise ValueError("all send buffers must have the same size")
+        # Small contributions shrink the chunk so shards stay chunk-aligned.
+        chunk = min(self.config.chunk_size, nbytes)
+        if self.size > 1 and nbytes % chunk != 0:
+            raise ValueError(
+                f"send size {nbytes} must be a multiple of the chunk size "
+                f"{chunk} so shards align with chunk boundaries"
+            )
+        cid = self._next_coll_id()
+        total = nbytes * self.size
+        plan = ChunkPlan(total, chunk)
+        if plan.n_chunks > self.imm.max_psns:
+            raise ValueError("buffer needs more PSNs than the immediate layout provides")
+        chunks_per_rank = max(nbytes // chunk, 1)
+        sub = SubgroupPlan(chunks_per_rank, self.config.n_subgroups)
+        seq = BroadcastSequencer(self.size, self.config.n_chains)
+        ops, buffers = [], []
+        participants = list(range(self.size))
+        for r in range(self.size):
+            engine = self.engines[r]
+            buf = np.zeros(total, dtype=np.uint8)
+            # Own shard is placed locally — the paper's roots never receive
+            # their own multicast back (the tree excludes the ingress port).
+            buf[r * nbytes : (r + 1) * nbytes] = payloads[r]
+            mr = engine.nic.memory.register(buf, key=RKEY_BASE + cid)
+            op = OpState(
+                sim=self.sim, coll_id=cid, kind="allgather", rank=r,
+                comm_size=self.size, mr=mr, plan=plan, subgroups=sub,
+                send_lo=r * chunks_per_rank, send_hi=(r + 1) * chunks_per_rank,
+            )
+            engine.register_op(op)
+            self.sim.spawn(
+                engine.run_op(
+                    op,
+                    participants,
+                    activation_pred=seq.predecessor(r),
+                    activation_succ=seq.successor(r),
+                ),
+                name=f"ag-c{cid}-r{r}",
+            )
+            ops.append(op)
+            buffers.append(mr.buf)
+        handle = OpHandle(self, "allgather", cid, ops, buffers, nbytes)
+        self._active[cid] = handle
+        return handle
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, *handles: OpHandle) -> None:
+        """Advance the simulation until every handle completes."""
+        targets = handles or tuple(self._active.values())
+        self.sim.drain([h.done for h in targets])
+
+    def release(self, handle: OpHandle) -> None:
+        """Free the op's registered buffers and id (after completion)."""
+        for engine in self.engines:
+            engine.release_op(handle.coll_id)
+        self._active.pop(handle.coll_id, None)
+
+    def _snapshot(self) -> Dict[str, int]:
+        return {
+            "switch_bytes": self.fabric.switch_egress_bytes(),
+            "switch_payload_bytes": self.fabric.switch_egress_bytes(payload_only=True),
+            "host_injected_bytes": self.fabric.host_injected_bytes(),
+            "fabric_drops": self.fabric.total_drops(),
+            "rnr_drops": self.fabric.total_rnr_drops(),
+        }
+
+    def _run_sync(self, handle: OpHandle) -> CollectiveResult:
+        before = self._snapshot()
+        self.run(handle)
+        after = self._snapshot()
+        traffic = {k: after[k] - before[k] for k in before}
+        result = handle.result(traffic)
+        self.release(handle)
+        return result
+
+    def broadcast(self, root: int, data: np.ndarray) -> CollectiveResult:
+        """Broadcast *data* from *root*; runs the simulation to completion."""
+        return self._run_sync(self.broadcast_async(root, data))
+
+    def allgather(self, send_data: Sequence[np.ndarray]) -> CollectiveResult:
+        """Allgather; runs the simulation to completion."""
+        return self._run_sync(self.allgather_async(send_data))

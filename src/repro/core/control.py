@@ -1,0 +1,239 @@
+"""RC control plane: synchronization and reliability-layer messaging.
+
+The slow path of the protocol (paper §III-C) runs over reliable connected
+QPs: the RNR synchronization barrier before multicasting, activation
+signals between chain neighbors (§IV-A), fetch requests/ACKs of the
+recovery layer, and the final-handshake packets in the virtual ring.
+
+Design notes
+------------
+* Control QPs are created lazily and pairwise by the communicator; each
+  rank's control QPs share one receive CQ drained by a single dispatcher
+  process (mirroring the single progress thread of the UCC backend).
+* Messages are tiny typed tuples sent as IB *inline* sends — no send-side
+  buffer lifetime management.
+* The RNR barrier is a dissemination barrier: ``⌈log2 P⌉`` rounds, round k
+  sending to ``(me + 2^k) mod P`` and waiting on ``(me − 2^k) mod P``.
+  (The paper uses recursive doubling; dissemination has the same round
+  count and works for any P, including the 188-rank testbed.)
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.nic import CompletionQueue, QueuePair, RecvWR, SendWR
+from repro.sim.events import Event
+from repro.sim.primitives import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.nic import Nic
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "ControlPlane",
+    "CtrlMessage",
+    "MSG_BARRIER",
+    "MSG_ACTIVATE",
+    "MSG_FETCH_REQ",
+    "MSG_FETCH_ACK",
+    "MSG_FINAL",
+]
+
+MSG_BARRIER = 1
+MSG_ACTIVATE = 2
+MSG_FETCH_REQ = 3
+MSG_FETCH_ACK = 4
+MSG_FINAL = 5
+
+#: message types delivered to an any-source inbox (servers listen for
+#: requests regardless of the requester's rank)
+_ANY_SOURCE = {MSG_FETCH_REQ}
+
+_SLOT_BYTES = 32
+_SLOTS_PER_QP = 16
+_WORDS = 6  # mtype, key, src_rank, a0, a1, a2
+
+
+class CtrlMessage(tuple):
+    """``(src_rank, mtype, key, args)`` — a decoded control message."""
+
+    __slots__ = ()
+
+    def __new__(cls, src_rank: int, mtype: int, key: int, args: Tuple[int, ...]):
+        return super().__new__(cls, (src_rank, mtype, key, args))
+
+    @property
+    def src(self) -> int:
+        return self[0]
+
+    @property
+    def mtype(self) -> int:
+        return self[1]
+
+    @property
+    def key(self) -> int:
+        return self[2]
+
+    @property
+    def args(self) -> Tuple[int, ...]:
+        return self[3]
+
+
+class ControlPlane:
+    """Per-rank control-plane endpoint.
+
+    Parameters
+    ----------
+    sim, nic:
+        Simulator and this rank's NIC.
+    rank:
+        Communicator-relative rank of this endpoint.
+    pair_fn:
+        ``pair_fn(peer_rank) -> QueuePair`` — supplied by the communicator;
+        creates/returns the local RC QP connected to *peer_rank*'s control
+        plane (creating the remote end too).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        nic: "Nic",
+        rank: int,
+        pair_fn: Callable[[int], QueuePair],
+        per_message_cost: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.rank = rank
+        self._pair_fn = pair_fn
+        self.per_message_cost = per_message_cost
+        self.recv_cq: CompletionQueue = nic.create_cq(f"ctrl-r{rank}")
+        self.qps: Dict[int, QueuePair] = {}
+        self._slot_mr = None
+        self._slot_qp: Dict[int, QueuePair] = {}
+        self._n_slots = 0
+        self._inboxes: Dict[tuple, Store] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        sim.spawn(self._dispatch_loop(), name=f"ctrl-dispatch-r{rank}")
+
+    # -------------------------------------------------------------- plumbing
+
+    def adopt_qp(self, peer_rank: int, qp: QueuePair) -> None:
+        """Register a connected control QP toward *peer_rank* and post its
+        receive slots (called by the communicator when pairing)."""
+        if peer_rank in self.qps:
+            raise ValueError(f"rank {self.rank}: ctrl QP to {peer_rank} already exists")
+        self.qps[peer_rank] = qp
+        base = self._n_slots
+        self._n_slots += _SLOTS_PER_QP
+        mr = self.nic.memory.register(_SLOTS_PER_QP * _SLOT_BYTES)
+        for i in range(_SLOTS_PER_QP):
+            slot = base + i
+            self._slot_qp[slot] = qp
+            qp.post_recv(
+                RecvWR(wr_id=slot, mr_key=mr.key, offset=i * _SLOT_BYTES, length=_SLOT_BYTES)
+            )
+        # Keep per-QP MRs; remember via closure on the WRs (offsets local).
+        if self._slot_mr is None:
+            self._slot_mr = {}
+        self._slot_mr[qp.qpn] = mr
+
+    def _qp_to(self, peer_rank: int) -> QueuePair:
+        qp = self.qps.get(peer_rank)
+        if qp is None:
+            qp = self._pair_fn(peer_rank)
+        return qp
+
+    # ------------------------------------------------------------- messaging
+
+    def send(self, dst_rank: int, mtype: int, key: int, args: Sequence[int] = ()) -> None:
+        """Post a control message (non-blocking, reliable, ordered per peer)."""
+        if len(args) > _WORDS - 3:
+            raise ValueError(f"control message supports up to {_WORDS - 3} args")
+        words = np.zeros(_WORDS, dtype=np.uint32)
+        words[0] = mtype
+        words[1] = key
+        words[2] = self.rank
+        for i, a in enumerate(args):
+            words[3 + i] = a
+        qp = self._qp_to(dst_rank)
+        qp.post_send(SendWR(wr_id=0, verb="send", inline_data=words, signaled=False))
+        self.messages_sent += 1
+
+    def _inbox(self, mtype: int, key: int, src: Optional[int]) -> Store:
+        # Any-source types (servers) get one inbox per type; the message
+        # itself carries the key and source.
+        ib_key = (mtype,) if mtype in _ANY_SOURCE else (mtype, key, src)
+        store = self._inboxes.get(ib_key)
+        if store is None:
+            store = self._inboxes[ib_key] = Store(self.sim)
+        return store
+
+    def recv(self, mtype: int, key: int = 0, src: Optional[int] = None) -> Event:
+        """Event yielding the next :class:`CtrlMessage` of this signature.
+
+        ``src`` is required except for any-source types (FETCH_REQ), whose
+        single inbox receives requests from every rank and collective.
+        """
+        if mtype not in _ANY_SOURCE and src is None:
+            raise ValueError(f"mtype {mtype} requires an explicit source rank")
+        return self._inbox(mtype, key, src).get()
+
+    def _dispatch_loop(self):
+        mr_of = lambda qp: self._slot_mr[qp.qpn]  # noqa: E731
+        while True:
+            yield self.recv_cq.wait()
+            for cqe in self.recv_cq.poll():
+                if self.per_message_cost > 0.0:
+                    # Progress-thread cycles spent on the control path.
+                    from repro.sim.events import Timeout
+
+                    yield Timeout(self.sim, self.per_message_cost)
+                slot = cqe.wr_id
+                qp = self._slot_qp[slot]
+                mr = mr_of(qp)
+                local = slot % _SLOTS_PER_QP
+                words = mr.view(local * _SLOT_BYTES, _WORDS * 4).view(np.uint32)
+                msg = CtrlMessage(
+                    src_rank=int(words[2]),
+                    mtype=int(words[0]),
+                    key=int(words[1]),
+                    args=tuple(int(w) for w in words[3:_WORDS]),
+                )
+                # Re-post the cached WR immediately (slot content consumed).
+                qp.post_recv(
+                    RecvWR(wr_id=slot, mr_key=mr.key, offset=local * _SLOT_BYTES,
+                           length=_SLOT_BYTES)
+                )
+                self.messages_received += 1
+                self._inbox(msg.mtype, msg.key, msg.src).put(msg)
+
+    # --------------------------------------------------------------- barrier
+
+    def barrier(self, tag: int, ranks: Optional[List[int]] = None):
+        """Dissemination barrier among *ranks* (generator; ``yield from`` it).
+
+        ``tag`` must be unique per logical barrier instance (e.g. the
+        collective id); rounds are disambiguated in the key's low bits.
+        """
+        if ranks is None:
+            ranks = sorted(self.qps)  # not generally correct; pass explicitly
+        me = ranks.index(self.rank)
+        p = len(ranks)
+        k = 1
+        rnd = 0
+        while k < p:
+            dst = ranks[(me + k) % p]
+            src = ranks[(me - k) % p]
+            key = (tag << 6) | rnd
+            self.send(dst, MSG_BARRIER, key)
+            msg = yield self.recv(MSG_BARRIER, key, src)
+            assert msg.mtype == MSG_BARRIER
+            k <<= 1
+            rnd += 1
+        return None

@@ -1,0 +1,128 @@
+"""Per-rank state of one in-flight collective operation.
+
+An :class:`OpState` is what the progress engine's workers update on every
+completion: the reliability bitmap, outstanding staging-copy count, phase
+timestamps and statistics.  The same structure backs both Broadcast and
+Allgather — an Allgather is simply an op whose "send range" is the rank's
+own shard of the global receive buffer and whose bitmap spans all shards
+(paper §IV: Allgather as a composition of Broadcasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.bitmap import Bitmap
+from repro.core.chunking import ChunkPlan
+from repro.core.subgroups import SubgroupPlan
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.memory import MemoryRegion
+    from repro.sim.engine import Simulator
+
+__all__ = ["OpState", "RKEY_BASE"]
+
+#: Base of the symmetric rkey space: op buffers are registered with key
+#: ``RKEY_BASE + coll_id`` on every participant, so the fetch layer can
+#: RDMA-read a neighbor's buffer at the same (key, offset) it uses locally.
+RKEY_BASE = 1 << 20
+
+
+@dataclass
+class OpState:
+    """One collective operation as seen by one rank."""
+
+    sim: "Simulator"
+    coll_id: int
+    kind: str  # 'broadcast' | 'allgather'
+    rank: int
+    comm_size: int
+    mr: "MemoryRegion"  #: the op buffer (send buffer on a bcast root,
+    #: receive buffer otherwise), symmetric rkey
+    plan: ChunkPlan  #: global chunk plan over the op buffer
+    subgroups: SubgroupPlan  #: partition of a *per-sender* block
+    send_lo: int = 0  #: first PSN this rank multicasts
+    send_hi: int = 0  #: one past the last PSN this rank multicasts
+    root: Optional[int] = None  #: broadcast root rank (None for allgather)
+
+    bitmap: Bitmap = field(init=False)
+    #: chunks whose bytes have actually landed in the op buffer (a chunk is
+    #: *tracked* in ``bitmap`` at CQE time but only *placed* once its
+    #: staging→user DMA drained; the fetch layer may only read placed
+    #: chunks from a neighbor)
+    placed: Bitmap = field(init=False)
+    outstanding_copies: int = field(init=False, default=0)
+    data_done: Event = field(init=False)
+    op_done: Event = field(init=False)
+    phases: Dict[str, float] = field(init=False)
+    stats: Dict[str, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.plan.n_chunks
+        if not 0 <= self.send_lo <= self.send_hi <= n:
+            raise ValueError("invalid send range")
+        self.bitmap = Bitmap(n)
+        self.placed = Bitmap(n)
+        self.data_done = Event(self.sim)
+        self.op_done = Event(self.sim)
+        self.phases = {}
+        self.stats = {
+            "duplicates": 0,
+            "recovered_chunks": 0,
+            "recoveries": 0,
+            "stray_cqes": 0,
+            "chunks_received": 0,
+        }
+        # This rank's own chunks are present by construction.
+        for psn in range(self.send_lo, self.send_hi):
+            self.bitmap.set(psn)
+            self.placed.set(psn)
+        self.maybe_complete()
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def n_chunks(self) -> int:
+        return self.plan.n_chunks
+
+    @property
+    def own_chunks(self) -> int:
+        return self.send_hi - self.send_lo
+
+    @property
+    def expected_recv_bytes(self) -> int:
+        """Bytes this rank must receive from the network."""
+        own_lo_off = self.send_lo * self.plan.chunk_size
+        own_hi_off = min(self.send_hi * self.plan.chunk_size, self.plan.buffer_len)
+        return self.plan.buffer_len - (own_hi_off - own_lo_off)
+
+    @property
+    def is_sender(self) -> bool:
+        return self.send_hi > self.send_lo
+
+    @property
+    def complete(self) -> bool:
+        return self.data_done.triggered
+
+    # -------------------------------------------------------------- updates
+
+    def mark_phase(self, name: str) -> None:
+        self.phases[name] = self.sim.now
+
+    def maybe_complete(self) -> None:
+        """Trigger ``data_done`` once every chunk is present *and* every
+        staging copy has drained."""
+        if (
+            not self.data_done.triggered
+            and self.bitmap.count == self.n_chunks
+            and self.outstanding_copies == 0
+        ):
+            self.data_done.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OpState {self.kind} cid={self.coll_id} rank={self.rank} "
+            f"{self.bitmap.count}/{self.n_chunks}>"
+        )

@@ -1,0 +1,391 @@
+"""The per-rank collective progress engine (paper §IV-B/C, §V-A).
+
+One :class:`RankEngine` is the software stack of one participant:
+
+* per-subgroup multicast QPs (UD or UC) with staging rings (UD),
+* **receive workers** — one process per worker, each draining the CQs of
+  its assigned subgroups: decode immediate → (collective, PSN), update the
+  bitmap, issue the staging→user DMA copy, re-post the receive
+  (flow-direction and packet parallelism),
+* a **send worker** path — the multicast scheduler: batched WQE posting
+  with doorbell moderation and bounded outstanding batches,
+* the **control plane** (RC): RNR barrier, chain activation, fetch
+  ring, final handshake,
+* the **op controller** — one process per collective: barrier → (optional)
+  multicast send → cutoff-timed wait for data → recovery if needed →
+  final handshake,
+* a **fetch server** answering FETCH_REQ from the right ring neighbor.
+
+Everything charges virtual time through :class:`HostCostModel`, so a
+single engine parameterization covers both the "fast CPU, cheap ops" and
+"starved CPU" regimes the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.chunking import ImmLayout
+from repro.core.control import (
+    MSG_ACTIVATE,
+    MSG_FETCH_ACK,
+    MSG_FETCH_REQ,
+    MSG_FINAL,
+    ControlPlane,
+)
+from repro.core.costmodel import HostCostModel
+from repro.core.ops import OpState
+from repro.core.staging import StagingRing
+from repro.net.dma import DmaEngine
+from repro.net.nic import RecvWR, SendWR, Transport
+from repro.sim.events import AnyOf, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.communicator import Communicator
+
+__all__ = ["RankEngine"]
+
+
+class RankEngine:
+    """The progress engine of one communicator rank."""
+
+    def __init__(self, comm: "Communicator", rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.sim = comm.sim
+        self.fabric = comm.fabric
+        self.config = comm.config
+        self.nic = comm.fabric.nic(comm.host_of(rank))
+        self.cost: HostCostModel = comm.config.cost
+        self.imm: ImmLayout = comm.imm
+        self.dma = DmaEngine(self.sim)
+        self.ops: Dict[int, OpState] = {}
+
+        self.ctrl = ControlPlane(
+            self.sim,
+            self.nic,
+            rank,
+            pair_fn=lambda peer: comm.ensure_ctrl_pair(rank, peer),
+            per_message_cost=self.cost.ctrl_message,
+        )
+
+        cfg = self.config
+        uc = cfg.transport == "uc"
+        self.send_cq = self.nic.create_cq(f"send-r{rank}")
+        self.sub_qps = []
+        self.stagings: List[Optional[StagingRing]] = []
+        self._dummy_mr = self.nic.memory.register(1)  # zero-length UC recvs
+        for sg in range(cfg.n_subgroups):
+            qp = self.nic.create_qp(
+                Transport.UC if uc else Transport.UD,
+                send_cq=self.send_cq,
+                recv_cq=self.nic.create_cq(f"recv-r{rank}-sg{sg}"),
+                max_recv_wr=max(cfg.staging_slots, 16),
+            )
+            if comm.size >= 2:
+                qp.attach_mcast(comm.mcast_gids[sg])
+            if uc:
+                # UC places data directly; receives only consume immediates.
+                for i in range(cfg.staging_slots):
+                    qp.post_recv(RecvWR(wr_id=i, mr_key=self._dummy_mr.key,
+                                        offset=0, length=0))
+                self.stagings.append(None)
+            else:
+                ring = StagingRing(self.nic, cfg.staging_slots, cfg.chunk_size)
+                ring.prime(qp)
+                self.stagings.append(ring)
+            self.sub_qps.append(qp)
+
+        from repro.core.subgroups import SubgroupPlan
+
+        n_workers = cfg.recv_workers or cfg.n_subgroups
+        for worker_id, sgs in enumerate(
+            SubgroupPlan.worker_mapping(cfg.n_subgroups, n_workers)
+        ):
+            if sgs:
+                self.sim.spawn(
+                    self._recv_worker(worker_id, sgs), name=f"rxw{worker_id}-r{rank}"
+                )
+        self.sim.spawn(self._fetch_server(), name=f"fetchsrv-r{rank}")
+
+        from repro.sim.primitives import Resource
+
+        self._send_lock = Resource(self.sim, 1)
+        # Serializes recoveries so read completions on the shared control
+        # QP's send CQ are attributable to exactly one controller.
+        self._recovery_lock = Resource(self.sim, 1)
+
+    # ------------------------------------------------------------- op table
+
+    def register_op(self, op: OpState) -> None:
+        if op.coll_id in self.ops:
+            raise ValueError(f"collective id {op.coll_id} already active on rank {self.rank}")
+        self.ops[op.coll_id] = op
+
+    def release_op(self, coll_id: int) -> None:
+        op = self.ops.pop(coll_id, None)
+        if op is not None:
+            self.nic.memory.deregister(op.mr.key)
+
+    # ----------------------------------------------------------- recv worker
+
+    def _recv_worker(self, worker_id: int, subgroups: List[int]):
+        """Receive datapath (paper Fig 6): poll → bitmap → copy → re-post."""
+        cfg = self.config
+        cost = self.cost
+        uc = cfg.transport == "uc"
+        qps = [self.sub_qps[sg] for sg in subgroups]
+        while True:
+            if not any(len(qp.recv_cq) for qp in qps):
+                yield AnyOf(self.sim, [qp.recv_cq.wait() for qp in qps])
+            for sg, qp in zip(subgroups, qps):
+                for cqe in qp.recv_cq.poll():
+                    yield Timeout(self.sim, cost.cqe_poll + cost.cqe_process)
+                    psn, cid = self.imm.decode(cqe.imm or 0)
+                    op = self.ops.get(cid)
+                    if uc:
+                        # Data already placed by the NIC; recycle the WR.
+                        yield Timeout(self.sim, cost.recv_repost)
+                        qp.post_recv(RecvWR(wr_id=cqe.wr_id, mr_key=self._dummy_mr.key,
+                                            offset=0, length=0))
+                        if op is None:
+                            continue
+                        if op.bitmap.set(psn):
+                            op.stats["chunks_received"] += 1
+                            op.placed.set(psn)  # UC: NIC placed it already
+                        else:
+                            op.stats["duplicates"] += 1
+                        op.maybe_complete()
+                        continue
+                    staging = self.stagings[sg]
+                    assert staging is not None
+                    slot = cqe.wr_id
+                    view = staging.on_cqe(slot)
+                    if op is None or not op.bitmap.set(psn):
+                        # Stray or duplicate chunk: recycle without copying.
+                        if op is None:
+                            self._count_stray(cid)
+                        else:
+                            op.stats["duplicates"] += 1
+                        yield Timeout(self.sim, cost.recv_repost)
+                        staging.repost(slot, qp)
+                        continue
+                    op.stats["chunks_received"] += 1
+                    off, ln = op.plan.bounds(psn)
+                    yield Timeout(self.sim, cost.copy_issue + cost.recv_repost)
+                    copy_done = self.dma.copy(view[:ln], op.mr.view(off, ln))
+                    op.outstanding_copies += 1
+                    copy_done.subscribe(
+                        self._make_copy_callback(op, staging, slot, qp, psn)
+                    )
+
+    def _make_copy_callback(self, op: OpState, staging: StagingRing, slot: int, qp,
+                            psn: int):
+        def _on_copy(_ev) -> None:
+            staging.repost(slot, qp)
+            op.outstanding_copies -= 1
+            op.placed.set(psn)
+            op.maybe_complete()
+
+        return _on_copy
+
+    def _count_stray(self, cid: int) -> None:
+        # A chunk for an unknown collective (e.g. a late duplicate after
+        # release); the RNR barrier prevents this on the ingest side, so
+        # it is only counted, never fatal.
+        self.stray_cqes = getattr(self, "stray_cqes", 0) + 1
+
+    # ----------------------------------------------------------- send worker
+
+    def run_send(self, op: OpState):
+        """Multicast root datapath (§III-A): zero-copy fragmentation, batched
+        posting, doorbell moderation, bounded outstanding batches."""
+        cfg = self.config
+        cost = self.cost
+        yield self._send_lock.acquire()
+        try:
+            psns = list(range(op.send_lo, op.send_hi))
+            outstanding = 0
+            for i in range(0, len(psns), cfg.batch_size):
+                batch = psns[i : i + cfg.batch_size]
+                yield Timeout(self.sim, cost.send_batch(len(batch)))
+                for j, psn in enumerate(batch):
+                    off, ln = op.plan.bounds(psn)
+                    sg = op.subgroups.subgroup_of(psn - op.send_lo)
+                    qp = self.sub_qps[sg]
+                    imm = self.imm.encode(psn, op.coll_id % self.imm.max_collectives)
+                    last = j == len(batch) - 1
+                    if cfg.transport == "uc":
+                        wr = SendWR(
+                            wr_id=psn, verb="write", mr_key=op.mr.key, offset=off,
+                            length=ln, imm=imm, mcast_gid=self.comm.mcast_gids[sg],
+                            remote_key=op.mr.key, remote_offset=off, signaled=last,
+                        )
+                    else:
+                        wr = SendWR(
+                            wr_id=psn, verb="send", mr_key=op.mr.key, offset=off,
+                            length=ln, imm=imm, mcast_gid=self.comm.mcast_gids[sg],
+                            signaled=last,
+                        )
+                    qp.post_send(wr)
+                outstanding += 1
+                while outstanding >= cfg.max_outstanding_batches:
+                    yield self.send_cq.wait()
+                    outstanding -= len(self.send_cq.poll())
+            while outstanding > 0:
+                yield self.send_cq.wait()
+                outstanding -= len(self.send_cq.poll())
+        finally:
+            self._send_lock.release()
+
+    # ------------------------------------------------------------- recovery
+
+    def run_recovery(self, op: OpState, participants: List[int]):
+        """Slow path (§III-C): selective zero-copy fetch of missing chunks
+        from the left neighbor in the reliable ring.
+
+        The fetch is **chunk-granular**: each round inspects which missing
+        chunks the neighbor has *placed* (its own may still be recovering)
+        and RDMA-READs exactly those.  Chunks a neighbor lacks propagate
+        around the ring as it recovers them itself — the paper's "worst
+        case degenerates to ring Allgather".  A whole-buffer ACK handshake
+        would deadlock when every rank of an Allgather lost something.
+        """
+        op.stats["recoveries"] += 1
+        me = participants.index(self.rank)
+        left = participants[(me - 1) % len(participants)]
+        left_host = self.comm.host_of(left)
+        cfg = self.config
+        yield self._recovery_lock.acquire()
+        try:
+            # Rendezvous with the neighbor's fetch server.
+            self.ctrl.send(left, MSG_FETCH_REQ, op.coll_id)
+            yield self.ctrl.recv(MSG_FETCH_ACK, op.coll_id, left)
+            qp = self.comm.ensure_ctrl_pair(self.rank, left)
+            rtt = 2 * self.fabric.one_way_delay(self.nic.host, left_host)
+            while not op.data_done.triggered:
+                # Fetch the neighbor's bitmap (modeled as one small RDMA
+                # read: RTT + bitmap bytes on the wire).
+                bitmap_bytes = max(op.n_chunks // 8, 8)
+                yield Timeout(
+                    self.sim, rtt + bitmap_bytes / self.fabric.link_bandwidth
+                )
+                left_op = self.comm.engines[left].ops.get(op.coll_id)
+                runs = []
+                if left_op is not None:
+                    # Intersect our missing runs with the neighbor's placed
+                    # chunks, coalescing into contiguous fetchable pieces.
+                    for start, count in op.bitmap.missing_runs():
+                        run = None
+                        for p in range(start, start + count):
+                            if left_op.placed.test(p):
+                                if run is None:
+                                    run = [p, 1]
+                                else:
+                                    run[1] += 1
+                            elif run is not None:
+                                runs.append(tuple(run))
+                                run = None
+                        if run is not None:
+                            runs.append(tuple(run))
+                if runs:
+                    expected = 0
+                    for start, count in runs:
+                        offset = start * op.plan.chunk_size
+                        length = min(count * op.plan.chunk_size,
+                                     op.plan.buffer_len - offset)
+                        qp.post_send(
+                            SendWR(
+                                wr_id=start, verb="read", mr_key=op.mr.key,
+                                offset=offset, length=length,
+                                remote_key=op.mr.key, remote_offset=offset,
+                            )
+                        )
+                        expected += 1
+                    while expected > 0:
+                        yield qp.send_cq.wait()
+                        expected -= len(qp.send_cq.poll())
+                    for start, count in runs:
+                        for psn in range(start, start + count):
+                            if op.bitmap.set(psn):
+                                op.stats["recovered_chunks"] += 1
+                            op.placed.set(psn)
+                    op.maybe_complete()
+                if op.data_done.triggered:
+                    break
+                # Nothing (more) available yet: let the multicast path and
+                # the neighbor's own recovery make progress, then retry
+                # (waking immediately if the fast path completes meanwhile).
+                yield AnyOf(
+                    self.sim, [op.data_done, Timeout(self.sim, cfg.recovery_alpha)]
+                )
+        finally:
+            self._recovery_lock.release()
+
+    def _fetch_server(self):
+        """Answer FETCH_REQs: acknowledge the rendezvous immediately — the
+        requester then pulls whatever chunks are placed, re-polling as our
+        own receive/recovery paths fill the buffer."""
+        while True:
+            msg = yield self.ctrl.recv(MSG_FETCH_REQ)
+            self.ctrl.send(msg.src, MSG_FETCH_ACK, msg.key)
+
+    # ---------------------------------------------------------- op controller
+
+    def run_op(
+        self,
+        op: OpState,
+        participants: List[int],
+        activation_pred: Optional[int] = None,
+        activation_succ: Optional[int] = None,
+    ):
+        """The lifecycle of one collective on this rank (a process).
+
+        barrier → [wait activation] → multicast → [activate successor] →
+        cutoff-timed wait → recovery* → final handshake.
+        """
+        cfg = self.config
+        op.mark_phase("start")
+        if len(participants) > 1:
+            yield from self.ctrl.barrier(tag=op.coll_id, ranks=participants)
+        op.mark_phase("sync")
+        # Cutoff timer (§III-C): N/B + α, where N bounds the bytes that
+        # must cross the receive path.  For Allgather the chain schedule
+        # serializes roots, so the whole op buffer is the right N.  B is
+        # the *effective* receive rate: the link, or the progress engine's
+        # software rate when the CPU is the bottleneck (a too-eager timer
+        # would trigger spurious recoveries on weak cores).
+        n_workers = max(cfg.recv_workers or cfg.n_subgroups, 1)
+        sw_rate = (
+            self.cost.recv_rate(cfg.chunk_size, uc=cfg.transport == "uc") * n_workers
+            if self.cost.per_recv_chunk > 0
+            else float("inf")
+        )
+        recv_rate = min(self.fabric.link_bandwidth, sw_rate)
+        deadline = (
+            self.sim.now + op.plan.buffer_len / recv_rate + cfg.cutoff_alpha
+        )
+        if op.is_sender and len(participants) > 1:
+            if activation_pred is not None:
+                yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
+            yield from self.run_send(op)
+            op.mark_phase("send_done")
+            if activation_succ is not None:
+                self.ctrl.send(activation_succ, MSG_ACTIVATE, op.coll_id)
+        while not op.data_done.triggered:
+            remaining = max(deadline - self.sim.now, 1e-9)
+            yield AnyOf(self.sim, [op.data_done, Timeout(self.sim, remaining)])
+            if op.data_done.triggered:
+                break
+            yield from self.run_recovery(op, participants)
+            deadline = self.sim.now + cfg.recovery_alpha
+        op.mark_phase("data")
+        if len(participants) > 1:
+            me = participants.index(self.rank)
+            left = participants[(me - 1) % len(participants)]
+            right = participants[(me + 1) % len(participants)]
+            self.ctrl.send(left, MSG_FINAL, op.coll_id)
+            yield self.ctrl.recv(MSG_FINAL, op.coll_id, right)
+        op.mark_phase("final")
+        op.op_done.succeed()
+        return op

@@ -1,0 +1,64 @@
+"""Cycle-approximate model of the NVIDIA Datapath Accelerator (DPA).
+
+The paper offloads the receive datapath of its collective progress engine
+to the DPA inside BlueField-3 / ConnectX-7: 16 energy-efficient RISC-V
+cores at 1.8 GHz, 16 hardware threads per core, 1.5 MB LLC (paper §II-C).
+The datapath is low-IPC data movement — polling CQEs, bitmap updates,
+posting loopback DMA writes — so nearly all its latency is memory stalls
+that *fine-grained multithreading* can hide.
+
+This package models exactly that mechanism:
+
+* :mod:`repro.dpa.isa` — instruction traces as (compute, stall) segments.
+* :mod:`repro.dpa.kernels` — the UD and UC receive-datapath kernels
+  (Appendix C) and the CPU software datapaths of the Fig 5 baseline,
+  calibrated to Table I's instructions/CQE and cycles/CQE.
+* :mod:`repro.dpa.core` — a switch-on-stall multithreaded core simulator:
+  compute segments serialize on the core's issue pipeline, stall segments
+  overlap across threads.
+* :mod:`repro.dpa.device` — DPA and host-CPU device descriptions with the
+  compact thread-placement policy of §VI-C.
+* :mod:`repro.dpa.offload` — the experiment drivers behind Table I and
+  Figures 5, 13, 14, 15, 16.
+"""
+
+from repro.dpa.core import MTCoreSim, ThreadRunResult
+from repro.dpa.device import CPU_EPYC_7413, DPA_BF3, CpuSpec, DpaSpec
+from repro.dpa.isa import Segment, Trace
+from repro.dpa.kernels import (
+    cpu_rc_chunked_trace,
+    cpu_ucx_ud_trace,
+    dpa_uc_trace,
+    dpa_ud_trace,
+)
+from repro.dpa.offload import (
+    DatapathMetrics,
+    chunk_rate_scaling,
+    cpu_datapath_throughput,
+    dpa_single_thread_metrics,
+    dpa_thread_scaling,
+    dpa_throughput,
+    uc_chunk_size_sweep,
+)
+
+__all__ = [
+    "CPU_EPYC_7413",
+    "CpuSpec",
+    "DPA_BF3",
+    "DatapathMetrics",
+    "DpaSpec",
+    "MTCoreSim",
+    "Segment",
+    "ThreadRunResult",
+    "Trace",
+    "chunk_rate_scaling",
+    "cpu_datapath_throughput",
+    "cpu_rc_chunked_trace",
+    "cpu_ucx_ud_trace",
+    "dpa_single_thread_metrics",
+    "dpa_thread_scaling",
+    "dpa_throughput",
+    "dpa_uc_trace",
+    "dpa_ud_trace",
+    "uc_chunk_size_sweep",
+]

@@ -1,0 +1,56 @@
+"""Fig 3: data movement at the training-node boundary.
+
+For send-buffer size N and P participants, bytes crossing one NIC per
+collective (send path, receive path):
+
+====================  ============  ============
+configuration         send          receive
+====================  ============  ============
+Reduce-Scatter (INC)  N·(P−1)       N
+Allgather (Mcast)     N             N·(P−1)
+Reduce-Scatter (ring) N·(P−1)       N·(P−1)
+Allgather (ring)      N·(P−1)       N·(P−1)
+====================  ============  ============
+
+(the paper's N for Reduce-Scatter is the *receive* shard size of one
+rank, so the RS input is N·(P−1) ≈ N·P; see Appendix B).
+
+Insight 2 follows: the {INC, Mcast} pair stresses *opposite* NIC
+directions, so concurrent FSDP collectives stop sharing a bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["NodeBoundary", "node_boundary_table"]
+
+
+@dataclass(frozen=True)
+class NodeBoundary:
+    """Per-NIC bytes for one collective in one configuration."""
+
+    collective: str  # 'allgather' | 'reduce_scatter'
+    algorithm: str  # 'mcast' | 'inc' | 'ring'
+    send: int
+    recv: int
+
+    @property
+    def total(self) -> int:
+        return self.send + self.recv
+
+
+def node_boundary_table(n: int, p: int) -> Dict[Tuple[str, str], NodeBoundary]:
+    """The Fig 3 table for send size *n* and *p* participants."""
+    if p < 2:
+        raise ValueError("need p >= 2")
+    if n < 0:
+        raise ValueError("need n >= 0")
+    rows = [
+        NodeBoundary("reduce_scatter", "inc", send=n * (p - 1), recv=n),
+        NodeBoundary("allgather", "mcast", send=n, recv=n * (p - 1)),
+        NodeBoundary("reduce_scatter", "ring", send=n * (p - 1), recv=n * (p - 1)),
+        NodeBoundary("allgather", "ring", send=n * (p - 1), recv=n * (p - 1)),
+    ]
+    return {(r.collective, r.algorithm): r for r in rows}

@@ -1,0 +1,97 @@
+"""§III-D: the protocol's memory footprint, item by item.
+
+The paper argues the offloaded protocol state is small enough to live in
+SmartNIC memory:
+
+* *connection contexts*: one multicast UD QP serves all peers (constant),
+  plus 2 RC QPs for the reliable ring — versus P−1 RC QPs for P2P stacks;
+* *staging area*: bounded by the receive-queue depth (BF-3: 8192 WRs ×
+  4 KiB = 32 MiB max; 4 MiB sustains 200 Gbit/s in practice), in
+  BlueField DRAM;
+* *bitmap*: the only state linear in the buffer — 1 bit per chunk;
+* *per-communicator context*: ≈16 KiB; with 64 KiB bitmaps (16 GB
+  receive buffers) more than 16 communicators fit in the 1.5 MB LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KiB, MiB
+
+__all__ = ["ProtocolFootprint", "communicators_fitting_llc"]
+
+#: BlueField-3 receive queue depth limit (paper §III-D-b)
+BF3_MAX_RECV_QUEUE = 8192
+#: practical staging size sustaining 200 Gbit/s in the paper's experiments
+PRACTICAL_STAGING_BYTES = 4 * MiB
+#: per-communicator control context (QP state, counters, schedule)
+COMMUNICATOR_CONTEXT_BYTES = 16 * KiB
+
+
+@dataclass(frozen=True)
+class ProtocolFootprint:
+    """Memory accounting for one communicator of the multicast protocol."""
+
+    recv_buffer_bytes: int
+    chunk_bytes: int = 4096
+    staging_slots: int = 1024
+    n_subgroups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes < 1 or self.recv_buffer_bytes < 0:
+            raise ValueError("invalid sizes")
+        if self.staging_slots > BF3_MAX_RECV_QUEUE:
+            raise ValueError(
+                f"staging_slots {self.staging_slots} exceeds the BF-3 receive "
+                f"queue depth {BF3_MAX_RECV_QUEUE}"
+            )
+
+    # -------------------------------------------------------------- pieces
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self.recv_buffer_bytes // self.chunk_bytes)
+
+    @property
+    def bitmap_bytes(self) -> int:
+        """1 bit per chunk — the only size-proportional state."""
+        return -(-self.n_chunks // 8)
+
+    @property
+    def staging_bytes(self) -> int:
+        """Staging ring(s): slots × chunk per subgroup (DRAM, not LLC)."""
+        return self.staging_slots * self.chunk_bytes * self.n_subgroups
+
+    @property
+    def qp_count(self) -> int:
+        """Fast path: 1 multicast QP per subgroup; slow path: 2 ring RC QPs
+        (constant in P — the paper's scalability argument vs P2P)."""
+        return self.n_subgroups + 2
+
+    @property
+    def context_bytes(self) -> int:
+        return COMMUNICATOR_CONTEXT_BYTES
+
+    @property
+    def llc_resident_bytes(self) -> int:
+        """What must sit in the SmartNIC LLC: bitmap + context (staging
+        lives in BlueField DRAM)."""
+        return self.bitmap_bytes + self.context_bytes
+
+    @staticmethod
+    def max_staging_bytes(chunk_bytes: int = 4096) -> int:
+        """The §III-D bound: receive-queue depth × MTU (32 MiB on BF-3)."""
+        return BF3_MAX_RECV_QUEUE * chunk_bytes
+
+
+def communicators_fitting_llc(
+    llc_bytes: int = int(1.5 * MiB),
+    bitmap_bytes: int = 64 * KiB,
+    context_bytes: int = COMMUNICATOR_CONTEXT_BYTES,
+) -> int:
+    """§III-D-d: with 64 KiB bitmaps (16 GB receive buffers) and 16 KiB
+    contexts, how many communicators fit in the LLC?  (Paper: >16.)"""
+    if bitmap_bytes + context_bytes <= 0:
+        raise ValueError("need positive per-communicator footprint")
+    return llc_bytes // (bitmap_bytes + context_bytes)

@@ -1,0 +1,49 @@
+"""Fig 7: bitmap and receive-buffer sizing vs PSN bits.
+
+The 32-bit CQE immediate is split between a PSN (chunk index) and a
+collective id.  With ``b`` PSN bits and chunk size ``c``:
+
+* maximum addressable receive buffer = ``2^b · c`` bytes,
+* bitmap needed to track it           = ``2^b / 8`` bytes.
+
+The paper overlays device memory lines: the DPA's 1.5 MB LLC fits the
+bitmap of a ~50 GB Allgather receive buffer at 4 KiB chunks (24 PSN
+bits → 2 MB bitmap is too big; 2^24 chunks need 2 MiB... in practice 23
+bits / 1 MiB bitmap sit inside the LLC with room for contexts), while GPU
+HBM bounds the receive buffer itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.chunking import ImmLayout
+from repro.units import GiB, MiB
+
+__all__ = ["bitmap_bytes", "max_receive_buffer", "DEVICE_MEMORY", "fig7_rows"]
+
+#: Reference capacities drawn on Fig 7.
+DEVICE_MEMORY: Dict[str, int] = {
+    "DPA LLC": int(1.5 * MiB),
+    "A100 HBM": 80 * GiB,
+    "H100 HBM": 80 * GiB,
+    "GH200 HBM": 96 * GiB,
+    "BlueField-3 DRAM": 16 * GiB,
+}
+
+
+def bitmap_bytes(psn_bits: int) -> int:
+    """Bitmap size needed to track every PSN addressable with *psn_bits*."""
+    return ImmLayout(psn_bits).bitmap_bytes()
+
+
+def max_receive_buffer(psn_bits: int, chunk_bytes: int = 4096) -> int:
+    """Largest Allgather receive buffer addressable with *psn_bits*."""
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    return ImmLayout(psn_bits).max_buffer_bytes(chunk_bytes)
+
+
+def fig7_rows(chunk_bytes: int = 4096, bits=range(10, 31)):
+    """The Fig 7 series: ``(psn_bits, bitmap_bytes, max_buffer_bytes)``."""
+    return [(b, bitmap_bytes(b), max_receive_buffer(b, chunk_bytes)) for b in bits]

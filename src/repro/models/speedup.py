@@ -1,0 +1,99 @@
+"""Appendix B: concurrent {Allgather, Reduce-Scatter} speedup, plus
+alpha-beta time models used to sanity-check the packet-level simulator.
+
+With both collectives in flight on full-duplex NICs of per-direction
+bandwidth ``B``:
+
+* ``{AG_ring, RS_ring}`` — each direction is split evenly between the two
+  collectives (Eq. 1): every collective runs at ``B/2`` and moves
+  ``N·(P−1)`` bytes → ``T = 2·N·(P−1)/B``.
+* ``{AG_mc, RS_inc}`` — the pair's bandwidth demands are complementary
+  (Eq. 2): the bottleneck direction runs at ``(1 − 1/P)·B`` →
+  ``T = N·(P−1) / ((1−1/P)·B)``.
+
+The ratio is ``S = 2 − 2/P`` (Eq. 3): up to 2× at scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "concurrent_speedup",
+    "bandwidth_shares_ring",
+    "bandwidth_shares_optimal",
+    "time_ring_allgather",
+    "time_mcast_allgather",
+    "time_mcast_bcast",
+    "time_knomial_bcast",
+    "time_pipelined_tree_bcast",
+]
+
+
+def concurrent_speedup(p: int) -> float:
+    """Eq. 3: S = 2 − 2/P."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return 2.0 - 2.0 / p
+
+
+def bandwidth_shares_ring(b_nic: float) -> dict:
+    """Eq. 1: ring pair — each path evenly split between AG and RS."""
+    half = b_nic / 2.0
+    return {"ag_send": half, "ag_recv": half, "rs_send": half, "rs_recv": half}
+
+
+def bandwidth_shares_optimal(b_nic: float, p: int) -> dict:
+    """Eq. 2: {AG_mc, RS_inc} — complementary demands on each direction."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    small = b_nic / p
+    big = b_nic * (1.0 - 1.0 / p)
+    return {"ag_send": small, "ag_recv": big, "rs_send": big, "rs_recv": small}
+
+
+# ------------------------------------------------------- alpha-beta models
+
+
+def time_ring_allgather(n: int, p: int, bandwidth: float, latency: float = 0.0,
+                        overhead: float = 0.0) -> float:
+    """(P−1) lock-stepped steps of N bytes each."""
+    if p < 2:
+        return 0.0
+    return (p - 1) * (n / bandwidth + latency + overhead)
+
+
+def time_mcast_allgather(n: int, p: int, bandwidth: float, latency: float = 0.0,
+                         sync_overhead: float = 0.0, n_chains: int = 1) -> float:
+    """Chain-sequenced multicast roots: receive path absorbs P·N total,
+    plus the RNR barrier and per-activation latency."""
+    if p < 2:
+        return 0.0
+    steps = p // max(n_chains, 1)
+    return sync_overhead + p * n / bandwidth + steps * latency
+
+
+def time_mcast_bcast(n: int, p: int, bandwidth: float, latency: float = 0.0,
+                     sync_overhead: float = 0.0) -> float:
+    """Constant-time Broadcast: one buffer serialization + tree depth."""
+    return sync_overhead + n / bandwidth + latency
+
+
+def time_knomial_bcast(n: int, p: int, radix: int, bandwidth: float,
+                       latency: float = 0.0) -> float:
+    """Non-pipelined k-nomial: each level forwards the whole buffer to up
+    to (radix−1) children sequentially."""
+    if p < 2:
+        return 0.0
+    levels = math.ceil(math.log(p, radix))
+    return levels * ((radix - 1) * n / bandwidth + latency)
+
+
+def time_pipelined_tree_bcast(n: int, p: int, bandwidth: float, segment: int,
+                              latency: float = 0.0) -> float:
+    """Pipelined binary tree: interior nodes send every segment twice."""
+    if p < 2:
+        return 0.0
+    depth = math.ceil(math.log2(p + 1))
+    fill = depth * (segment / bandwidth + latency)
+    return fill + 2.0 * n / bandwidth

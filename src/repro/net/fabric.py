@@ -1,0 +1,269 @@
+"""Fabric: topology + switches + links + NICs, wired and runnable.
+
+The :class:`Fabric` is the deployment unit protocol code runs against::
+
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.leaf_spine(16, 2, 2), link_bandwidth=gbit_per_s(56))
+    nic = fabric.nic(3)
+    qp = nic.create_qp(Transport.UD)
+    gid = fabric.create_mcast_group([0, 1, 2, 3])
+    qp.attach_mcast(gid)
+
+It also owns the **switch telemetry** (per-port byte counters) that the
+paper's Figure 12 experiment scrapes, and the fault-injection knobs used by
+the reliability tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.link import Channel, FaultSpec
+from repro.net.nic import Nic
+from repro.net.switch import Switch
+from repro.net.topology import Topology, host_id, is_host
+from repro.sim.random import RandomStreams
+from repro.units import US, gbit_per_s
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Fabric", "McastGroup"]
+
+
+@dataclass
+class McastGroup:
+    """Bookkeeping for one multicast group."""
+
+    gid: int
+    members: Set[int]
+    tree: Dict[str, Set[str]]
+
+
+class Fabric:
+    """A runnable network instance.
+
+    Parameters
+    ----------
+    sim:
+        The simulator everything schedules on.
+    topology:
+        Node/edge structure and routing (see :class:`Topology`).
+    link_bandwidth:
+        Bytes/second for every channel (per direction).
+    link_latency:
+        Per-hop propagation delay in seconds.
+    mtu:
+        Maximum datagram payload (IB: up to 4096).
+    header_bytes:
+        Per-packet wire overhead.
+    switch_delay:
+        Per-switch forwarding delay.
+    streams:
+        Named RNG streams for fault injection / jitter.
+    default_fault:
+        Fault spec cloned onto every channel (fabric-wide BER / jitter).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        link_bandwidth: float = gbit_per_s(56),
+        link_latency: float = 1.0 * US,
+        mtu: int = 4096,
+        header_bytes: int = 64,
+        switch_delay: float = 0.1 * US,
+        streams: Optional[RandomStreams] = None,
+        default_fault: Optional[FaultSpec] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.link_bandwidth = float(link_bandwidth)
+        self.link_latency = float(link_latency)
+        self.mtu = int(mtu)
+        self.header_bytes = int(header_bytes)
+        self.loopback_delay = 0.5 * US
+        self.streams = streams or RandomStreams(seed=0)
+        self._default_fault = default_fault
+
+        self.nics: Dict[int, Nic] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.channels: Dict[Tuple[str, str], Channel] = {}
+        self.mcast_groups: Dict[int, McastGroup] = {}
+        self._gid_counter = itertools.count(0)
+        self._hop_cache: Dict[Tuple[int, int], int] = {}
+        self._inc_trees: Dict[int, object] = {}
+
+        # --- build nodes ---
+        for h in range(topology.n_hosts):
+            self.nics[h] = Nic(sim, h, self, mtu=mtu, header_bytes=header_bytes)
+        for name in topology.switch_names:
+            self.switches[name] = Switch(sim, name, forwarding_delay=switch_delay)
+
+        # --- build channels (both directions per edge) ---
+        for a, b in topology.edges:
+            self._make_channel(a, b)
+            self._make_channel(b, a)
+
+        # --- install unicast routing ---
+        for sw_name, table in topology.unicast_tables().items():
+            sw = self.switches[sw_name]
+            for dst, neighbor in table.items():
+                sw.install_unicast(dst, neighbor)
+
+    # ------------------------------------------------------------- wiring
+
+    def _node(self, name: str):
+        if is_host(name):
+            return self.nics[host_id(name)]
+        return self.switches[name]
+
+    def _make_channel(self, src: str, dst: str) -> None:
+        fault = None
+        if self._default_fault is not None:
+            # Each channel gets its own copy so counters/seq state differ.
+            f = self._default_fault
+            fault = FaultSpec(
+                drop_prob=f.drop_prob,
+                drop_packet_seqs=set(f.drop_packet_seqs),
+                drop_predicate=f.drop_predicate,
+                reorder_jitter=f.reorder_jitter,
+                protect_reliable=f.protect_reliable,
+            )
+        ch = Channel(
+            self.sim,
+            src,
+            dst,
+            self._node(dst),
+            bandwidth=self.link_bandwidth,
+            latency=self.link_latency,
+            fault=fault,
+            rng=self.streams.stream(f"chan:{src}->{dst}"),
+        )
+        self.channels[(src, dst)] = ch
+        if is_host(src):
+            self.nics[host_id(src)].egress = ch
+        else:
+            self.switches[src].add_port(ch)
+
+    # ------------------------------------------------------------ accessors
+
+    def nic(self, host: int) -> Nic:
+        return self.nics[host]
+
+    @property
+    def n_hosts(self) -> int:
+        return self.topology.n_hosts
+
+    def channel(self, src: str, dst: str) -> Channel:
+        return self.channels[(src, dst)]
+
+    def set_fault(self, src: str, dst: str, fault: Optional[FaultSpec]) -> None:
+        """Install a fault spec on one directed channel."""
+        self.channels[(src, dst)].fault = fault
+
+    def set_fault_all(self, fault_factory) -> None:
+        """Install ``fault_factory(src, dst) -> FaultSpec|None`` everywhere."""
+        for (src, dst), ch in self.channels.items():
+            ch.fault = fault_factory(src, dst)
+
+    def one_way_delay(self, src: int, dst) -> float:
+        """Propagation-only delay estimate host→host (for ack modeling)."""
+        if isinstance(dst, int) and dst >= 0 and dst < self.n_hosts and not isinstance(dst, bool):
+            key = (src, dst)
+            hops = self._hop_cache.get(key)
+            if hops is None:
+                hops = len(self.topology.path(src, dst)) - 1 if src != dst else 0
+                self._hop_cache[key] = hops
+            return hops * self.link_latency
+        # Multicast destination: use tree depth bound (2 hops in leaf-spine).
+        return 2 * self.link_latency
+
+    # ------------------------------------------------------------- multicast
+
+    def create_mcast_group(self, members: Sequence[int]) -> int:
+        """Create a group, build its spanning tree, program the switches."""
+        gid = next(self._gid_counter)
+        members_set = set(int(m) for m in members)
+        tree = self.topology.mcast_tree(gid, sorted(members_set))
+        for node, neighbors in tree.items():
+            if not is_host(node):
+                self.switches[node].install_mcast(gid, set(neighbors))
+        self.mcast_groups[gid] = McastGroup(gid=gid, members=members_set, tree=tree)
+        return gid
+
+    def create_inc_tree(self, members: Sequence[int], rkey: int,
+                        qpn_of: Dict[int, int], shard_bytes: int,
+                        segment_bytes: int = 4096):
+        """Program a SHARP-like reduction tree (see :mod:`repro.net.inc`)."""
+        from repro.net.inc import IncTree
+
+        return IncTree(self, members, rkey, qpn_of, shard_bytes, segment_bytes)
+
+    def _dispatch_inc(self, switch, packet, in_port) -> None:
+        tree = self._inc_trees.get(packet.mcast_gid)
+        if tree is not None:
+            tree.on_switch_packet(switch, packet, in_port)
+
+    def register_mcast_member(self, gid: int, host: int) -> None:
+        group = self.mcast_groups.get(gid)
+        if group is None:
+            raise KeyError(f"multicast group {gid} does not exist")
+        if host not in group.members:
+            raise ValueError(f"host {host} is not in multicast group {gid}")
+
+    # -------------------------------------------------------------- counters
+
+    def switch_egress_bytes(self, payload_only: bool = False) -> int:
+        """Sum of bytes transmitted out of every switch port — the
+        'performance counters across all switch ports' of Figure 12."""
+        if payload_only:
+            return sum(sw.egress_payload_bytes for sw in self.switches.values())
+        return sum(sw.egress_wire_bytes for sw in self.switches.values())
+
+    def switch_port_traffic(self, payload_only: bool = False) -> int:
+        """PortXmitData + PortRcvData summed over every switch port — the
+        Figure 12 telemetry.  Egress counts what a switch transmitted;
+        ingress counts what arrived at it (host→switch injection included,
+        switch↔switch links counted from both sides, as real per-port
+        counters do)."""
+        total = 0
+        switch_names = set(self.switches)
+        for (src, dst), ch in self.channels.items():
+            n = ch.payload_bytes_sent if payload_only else ch.bytes_sent
+            if src in switch_names:
+                total += n  # xmit side
+            if dst in switch_names:
+                total += n  # rcv side
+        return total
+
+    def host_injected_bytes(self, payload_only: bool = False) -> int:
+        """Bytes hosts pushed into the fabric (NIC send path)."""
+        total = 0
+        for (src, _dst), ch in self.channels.items():
+            if is_host(src):
+                total += ch.payload_bytes_sent if payload_only else ch.bytes_sent
+        return total
+
+    def per_switch_egress(self) -> Dict[str, int]:
+        return {name: sw.egress_wire_bytes for name, sw in self.switches.items()}
+
+    def total_drops(self) -> int:
+        return sum(ch.packets_dropped for ch in self.channels.values())
+
+    def total_rnr_drops(self) -> int:
+        return sum(nic.rnr_drops for nic in self.nics.values())
+
+    def reset_counters(self) -> None:
+        for ch in self.channels.values():
+            ch.reset_counters()
+        for sw in self.switches.values():
+            sw.packets_forwarded = 0
+            sw.packets_dropped_no_route = 0
+        for nic in self.nics.values():
+            nic.rnr_drops = 0
+            nic.packets_received = 0
+            nic.bytes_received = 0

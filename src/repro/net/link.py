@@ -1,0 +1,213 @@
+"""Point-to-point channels: bandwidth, latency, faults, reordering, counters.
+
+A full-duplex cable is modeled as two independent :class:`Channel` objects.
+Serialization is modeled with a ``busy_until`` watermark: a packet starts
+transmitting when the channel frees up, occupies it for
+``wire_bytes / bandwidth`` seconds, then propagates for ``latency`` seconds
+(plus optional adaptive-routing jitter) before being handed to the
+destination node's ``receive``.
+
+Fault injection (:class:`FaultSpec`) models fabric drops: corrupted packets
+still consume wire time (they were transmitted!) but are never delivered.
+Reliable-transport packets are immune by default — real RC hardware
+retransmits below the software's event horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Set
+
+import numpy as np
+
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["FaultSpec", "Channel", "UNRELIABLE_KINDS"]
+
+#: Packet kinds subject to fault injection / reordering (unreliable
+#: transports).  RC traffic is retransmitted by hardware, so software never
+#: observes its losses.
+UNRELIABLE_KINDS: Set[PacketKind] = {PacketKind.UD_SEND, PacketKind.UC_WRITE}
+
+
+@dataclass
+class FaultSpec:
+    """Fault-injection policy for one channel.
+
+    Attributes
+    ----------
+    drop_prob:
+        Per-packet Bernoulli drop probability (fabric BER model).
+    drop_packet_seqs:
+        Deterministic drops: the n-th *droppable* packet through this
+        channel (0-based) is dropped if its index is in this set.  Used by
+        unit tests to force specific loss patterns.
+    drop_predicate:
+        ``fn(packet, channel_seq) -> bool`` for arbitrary test scenarios.
+    reorder_jitter:
+        Maximum extra propagation delay, drawn uniformly per packet, that
+        models adaptive-routing path dispersion.  Nonzero values cause
+        out-of-order delivery of unreliable datagrams.
+    protect_reliable:
+        When True (default), RC packets are never dropped or reordered.
+    """
+
+    drop_prob: float = 0.0
+    drop_packet_seqs: Set[int] = field(default_factory=set)
+    drop_predicate: Optional[Callable[[Packet, int], bool]] = None
+    reorder_jitter: float = 0.0
+    protect_reliable: bool = True
+
+    def affects(self, packet: Packet) -> bool:
+        if self.protect_reliable and packet.kind not in UNRELIABLE_KINDS:
+            return False
+        return True
+
+
+class Channel:
+    """A unidirectional link from ``src_name`` to a destination node.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    src_name / dst_name:
+        Node names, for identification in counters and routing.
+    dst_node:
+        The object whose ``receive(packet, channel)`` is called on delivery.
+    bandwidth:
+        Bytes per second.
+    latency:
+        Propagation delay in seconds.
+    fault:
+        Optional :class:`FaultSpec`.
+    rng:
+        numpy Generator for this channel's stochastic decisions; required
+        when the fault spec uses probabilities or jitter.
+    """
+
+    __slots__ = (
+        "sim",
+        "src_name",
+        "dst_name",
+        "dst_node",
+        "bandwidth",
+        "latency",
+        "fault",
+        "rng",
+        "busy_until",
+        "ctrl_bypass_bytes",
+        "bytes_sent",
+        "packets_sent",
+        "payload_bytes_sent",
+        "bytes_dropped",
+        "packets_dropped",
+        "_droppable_seq",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src_name: str,
+        dst_name: str,
+        dst_node,
+        bandwidth: float,
+        latency: float,
+        fault: Optional[FaultSpec] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.src_name = src_name
+        self.dst_name = dst_name
+        self.dst_node = dst_node
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.fault = fault
+        self.rng = rng
+        self.busy_until = 0.0
+        #: Packets at or below this wire size ride a high-priority virtual
+        #: lane: they do not wait behind (or add to) the bulk-data queue.
+        #: Models the fabric QoS (IB Virtual Lanes) the paper assumes for
+        #: protocol control traffic (§VII-b); set to 0 to disable.
+        self.ctrl_bypass_bytes = 128
+        # --- counters (the "switch port telemetry" of Figure 12) ---
+        self.bytes_sent = 0  #: wire bytes that finished serialization
+        self.payload_bytes_sent = 0
+        self.packets_sent = 0
+        self.bytes_dropped = 0
+        self.packets_dropped = 0
+        self._droppable_seq = 0  #: index among fault-affected packets
+
+    @property
+    def name(self) -> str:
+        return f"{self.src_name}->{self.dst_name}"
+
+    # -------------------------------------------------------------- transmit
+
+    def transmit(self, packet: Packet) -> float:
+        """Queue *packet* for transmission; returns its serialization-finish
+        time (the instant the last byte leaves this port).
+
+        Delivery to the destination node is scheduled internally; a dropped
+        packet still occupies the wire but is never delivered.
+        """
+        now = self.sim.now
+        if packet.wire_bytes <= self.ctrl_bypass_bytes:
+            # High-priority VL: negligible wire time, no bulk queuing.
+            finish = now + packet.wire_bytes / self.bandwidth
+        else:
+            start = now if now > self.busy_until else self.busy_until
+            finish = start + packet.wire_bytes / self.bandwidth
+            self.busy_until = finish
+        self.bytes_sent += packet.wire_bytes
+        self.payload_bytes_sent += packet.payload_len
+        self.packets_sent += 1
+
+        jitter = 0.0
+        if self.fault is not None and self.fault.affects(packet):
+            seq = self._droppable_seq
+            self._droppable_seq += 1
+            if self._should_drop(packet, seq):
+                self.bytes_dropped += packet.wire_bytes
+                self.packets_dropped += 1
+                return finish
+            if self.fault.reorder_jitter > 0.0:
+                if self.rng is None:
+                    raise RuntimeError(f"channel {self.name} needs an rng for jitter")
+                jitter = float(self.rng.uniform(0.0, self.fault.reorder_jitter))
+
+        deliver_at = finish + self.latency + jitter
+        self.sim.call_at(deliver_at, self.dst_node.receive, packet, self)
+        return finish
+
+    def _should_drop(self, packet: Packet, seq: int) -> bool:
+        fault = self.fault
+        assert fault is not None
+        if seq in fault.drop_packet_seqs:
+            return True
+        if fault.drop_predicate is not None and fault.drop_predicate(packet, seq):
+            return True
+        if fault.drop_prob > 0.0:
+            if self.rng is None:
+                raise RuntimeError(f"channel {self.name} needs an rng for drop_prob")
+            return bool(self.rng.random() < fault.drop_prob)
+        return False
+
+    # -------------------------------------------------------------- counters
+
+    def reset_counters(self) -> None:
+        self.bytes_sent = 0
+        self.payload_bytes_sent = 0
+        self.packets_sent = 0
+        self.bytes_dropped = 0
+        self.packets_dropped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Channel {self.name} sent={self.packets_sent}p/{self.bytes_sent}B>"

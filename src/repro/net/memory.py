@@ -1,0 +1,90 @@
+"""Registered memory regions — the RDMA MR model.
+
+Every buffer the NIC may touch must be *registered*, producing a
+:class:`MemoryRegion` with a key.  Remote peers address memory as
+``(rkey, offset)``; the owning NIC resolves the key in its host's
+:class:`Memory`.  Buffers are numpy ``uint8`` arrays, and all protocol data
+movement operates on zero-copy views of them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["Memory", "MemoryRegion"]
+
+_key_counter = itertools.count(1)
+
+
+class MemoryRegion:
+    """A registered buffer.  ``lkey == rkey == key`` (we do not model PD
+    separation; protection faults raise immediately instead)."""
+
+    __slots__ = ("key", "buf", "host")
+
+    def __init__(self, key: int, buf: np.ndarray, host: int) -> None:
+        self.key = key
+        self.buf = buf
+        self.host = host
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.buf.nbytes)
+
+    def view(self, offset: int, length: int) -> np.ndarray:
+        """Zero-copy slice with bounds checking (the 'IOMMU')."""
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise IndexError(
+                f"MR key={self.key}: access [{offset}, {offset + length}) "
+                f"outside region of {self.nbytes} bytes"
+            )
+        return self.buf[offset : offset + length]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MR key={self.key} host={self.host} {self.nbytes}B>"
+
+
+class Memory:
+    """Per-host registry of memory regions."""
+
+    def __init__(self, host: int) -> None:
+        self.host = host
+        self._regions: Dict[int, MemoryRegion] = {}
+
+    def register(self, buf_or_size: Union[np.ndarray, int], key: Optional[int] = None) -> MemoryRegion:
+        """Register an existing buffer or allocate+register ``size`` bytes.
+
+        ``key`` may be forced for *symmetric registration* across hosts
+        (used by multicast UC writes, where the sender names one rkey valid
+        on every group member).
+        """
+        if isinstance(buf_or_size, (int, np.integer)):
+            buf = np.zeros(int(buf_or_size), dtype=np.uint8)
+        else:
+            buf = np.asarray(buf_or_size)
+            if buf.dtype != np.uint8:
+                buf = buf.view(np.uint8)
+            if buf.ndim != 1:
+                raise ValueError("register a flat uint8 buffer")
+        if key is None:
+            key = next(_key_counter)
+        if key in self._regions:
+            raise ValueError(f"key {key} already registered on host {self.host}")
+        mr = MemoryRegion(key, buf, self.host)
+        self._regions[key] = mr
+        return mr
+
+    def deregister(self, key: int) -> None:
+        self._regions.pop(key)
+
+    def lookup(self, key: int) -> MemoryRegion:
+        mr = self._regions.get(key)
+        if mr is None:
+            raise KeyError(f"host {self.host}: no MR with key {key} (remote access fault)")
+        return mr
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,700 @@
+"""Host NIC model: queue pairs, completion queues, send engine, receive path.
+
+The API intentionally mirrors InfiniBand Verbs so that the protocol code in
+:mod:`repro.core` reads like its C original:
+
+* :meth:`Nic.create_qp` → ``ibv_create_qp`` (UD / UC / RC service models)
+* :meth:`QueuePair.post_recv` / :meth:`QueuePair.post_send`
+* :meth:`CompletionQueue.poll` / :meth:`CompletionQueue.wait`
+* :meth:`QueuePair.attach_mcast` → ``ibv_attach_mcast``
+
+Transport semantics implemented (paper §II-B):
+
+UD
+    Datagrams ≤ MTU, connection-less, unreliable, multicast-capable.  A
+    datagram arriving with an empty receive queue is an **RNR drop**
+    (counted).  Payload lands in the posted receive buffer; the CQE carries
+    the 32-bit immediate (the protocol's PSN).
+UC
+    Connected, unreliable, arbitrary-length RDMA WRITE (+immediate).  We
+    also model the paper's hypothesized *multicast UC write* extension.
+    Segments place data directly at the remote address; a message whose
+    segments do not all arrive never completes (no CQE) — partial data may
+    have been placed, which is exactly why the receiver must track
+    completion per chunk.
+RC
+    Connected, reliable (immune to fault injection): two-sided SEND,
+    one-sided WRITE and READ.  Sender completions respect acknowledgement
+    timing; READ responses consume the *target's* egress bandwidth.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.net.link import Channel
+from repro.net.memory import Memory
+from repro.net.packet import MCAST_FLAG, Packet, PacketKind
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.fabric import Fabric
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "Transport",
+    "Opcode",
+    "SendWR",
+    "RecvWR",
+    "CQE",
+    "CompletionQueue",
+    "QueuePair",
+    "Nic",
+]
+
+
+class Transport(enum.Enum):
+    UD = "ud"
+    UC = "uc"
+    RC = "rc"
+
+
+class Opcode(enum.Enum):
+    SEND = "send"  #: tx completion of a SEND
+    RDMA_WRITE = "rdma_write"  #: tx completion of a WRITE
+    RDMA_READ = "rdma_read"  #: tx completion of a READ (data placed locally)
+    RECV = "recv"  #: rx completion of a SEND
+    RECV_RDMA_WITH_IMM = "recv_rdma_with_imm"  #: rx completion of WRITE+imm
+
+
+@dataclass
+class SendWR:
+    """A send-side work request (single SGE).
+
+    ``verb`` selects SEND / WRITE / READ.  For UD, ``dst``+``dst_qpn`` or
+    ``mcast_gid`` routes the datagram.  WRITE/READ address remote memory as
+    ``(remote_key, remote_offset)``.
+    """
+
+    wr_id: int
+    verb: str  # 'send' | 'write' | 'read'
+    mr_key: int = 0
+    offset: int = 0
+    length: int = 0
+    #: Inline payload (IB inline send): the data is captured by copy at
+    #: post time and needs no memory registration.  Mutually exclusive
+    #: with ``mr_key``/``offset``/``length``.
+    inline_data: Optional[object] = None
+    imm: Optional[int] = None
+    dst: Optional[int] = None
+    dst_qpn: Optional[int] = None
+    mcast_gid: Optional[int] = None
+    remote_key: Optional[int] = None
+    remote_offset: int = 0
+    signaled: bool = True
+
+
+@dataclass
+class RecvWR:
+    """A receive-side work request: where an inbound message may land."""
+
+    wr_id: int
+    mr_key: int
+    offset: int
+    length: int
+
+
+@dataclass
+class CQE:
+    """Completion queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    qpn: int
+    byte_len: int = 0
+    imm: Optional[int] = None
+    src: Optional[int] = None
+    src_qpn: Optional[int] = None
+    ok: bool = True
+    timestamp: float = 0.0
+
+
+class CompletionQueue:
+    """A FIFO of CQEs with an event-channel style waitable."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.items: Deque[CQE] = collections.deque()
+        self._waiters: Deque[Event] = collections.deque()
+        self.total_pushed = 0
+
+    def push(self, cqe: CQE) -> None:
+        cqe.timestamp = self.sim.now
+        self.items.append(cqe)
+        self.total_pushed += 1
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+    def poll(self, max_entries: Optional[int] = None) -> List[CQE]:
+        """Drain up to ``max_entries`` completions (non-blocking)."""
+        n = len(self.items) if max_entries is None else min(max_entries, len(self.items))
+        return [self.items.popleft() for _ in range(n)]
+
+    def wait(self) -> Event:
+        """Event that fires when the CQ is (or becomes) non-empty."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class QueuePair:
+    """A simulated queue pair."""
+
+    def __init__(
+        self,
+        nic: "Nic",
+        qpn: int,
+        transport: Transport,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_recv_wr: int = 8192,
+    ) -> None:
+        self.nic = nic
+        self.qpn = qpn
+        self.transport = transport
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_recv_wr = max_recv_wr
+        self.recv_queue: Deque[RecvWR] = collections.deque()
+        self.peer: Optional[Tuple[int, int]] = None  # (host, qpn)
+        self.mcast_groups: Set[int] = set()
+        self.rnr_drops = 0
+
+    # ----------------------------------------------------------- connection
+
+    def connect(self, remote_host: int, remote_qpn: int) -> None:
+        """Connect a UC/RC QP to its remote counterpart."""
+        if self.transport is Transport.UD:
+            raise ValueError("UD QPs are connection-less")
+        self.peer = (remote_host, remote_qpn)
+
+    def attach_mcast(self, gid: int) -> None:
+        """Attach this QP to a multicast group (UD, or UC for the
+        hypothetical multicast-write extension)."""
+        if self.transport is Transport.RC:
+            raise ValueError("RC transport does not support multicast")
+        self.nic.attach_mcast(gid, self.qpn)
+        self.mcast_groups.add(gid)
+
+    def detach_mcast(self, gid: int) -> None:
+        self.nic.detach_mcast(gid, self.qpn)
+        self.mcast_groups.discard(gid)
+
+    # ------------------------------------------------------------- posting
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if len(self.recv_queue) >= self.max_recv_wr:
+            raise RuntimeError(f"QP {self.qpn}: receive queue full ({self.max_recv_wr})")
+        self.nic.memory.lookup(wr.mr_key).view(wr.offset, wr.length)  # validate
+        self.recv_queue.append(wr)
+        self.nic._drain_rc_pending(self)
+
+    def post_send(self, wr: SendWR) -> None:
+        self._validate_send(wr)
+        self.nic._execute_send(self, wr)
+
+    def _validate_send(self, wr: SendWR) -> None:
+        t = self.transport
+        if wr.verb not in ("send", "write", "read"):
+            raise ValueError(f"unknown verb {wr.verb!r}")
+        if t is Transport.UD:
+            if wr.verb != "send":
+                raise ValueError("UD supports two-sided SEND only")
+            if wr.length > self.nic.mtu:
+                raise ValueError(
+                    f"UD datagram of {wr.length} B exceeds MTU {self.nic.mtu}"
+                )
+            if wr.mcast_gid is None and (wr.dst is None or wr.dst_qpn is None):
+                raise ValueError("UD send needs dst+dst_qpn or mcast_gid")
+        elif t is Transport.UC:
+            if wr.verb == "read":
+                raise ValueError("UC does not support RDMA READ")
+            if wr.verb == "write" and wr.remote_key is None:
+                raise ValueError("write needs remote_key")
+            if wr.mcast_gid is None and self.peer is None:
+                raise ValueError("UC QP not connected")
+        else:  # RC
+            if wr.mcast_gid is not None:
+                raise ValueError("RC transport does not support multicast")
+            if self.peer is None:
+                raise ValueError("RC QP not connected")
+            if wr.verb in ("write", "read") and wr.remote_key is None:
+                raise ValueError(f"{wr.verb} needs remote_key")
+        if wr.inline_data is not None:
+            if wr.verb != "send":
+                raise ValueError("inline data is only supported for SEND")
+            return
+        if wr.verb != "read" and wr.length > 0:
+            self.nic.memory.lookup(wr.mr_key).view(wr.offset, wr.length)  # validate
+
+
+class _Reassembly:
+    """Tracks arrival of a multi-segment message on the receive side.
+
+    ``imm`` caches the immediate value seen on whichever segment carried
+    it — under adaptive-routing reordering the imm-bearing (last-sequence)
+    segment is not necessarily the last to *arrive*.
+    """
+
+    __slots__ = ("arrived", "segments", "byte_len", "first_ts", "imm")
+
+    def __init__(self, segments: int) -> None:
+        self.arrived = 0
+        self.segments = segments
+        self.byte_len = 0
+        self.first_ts = 0.0
+        self.imm = None
+
+
+class Nic:
+    """A host NIC attached to the fabric through one egress channel."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: int,
+        fabric: "Fabric",
+        mtu: int = 4096,
+        header_bytes: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.mtu = mtu
+        self.header_bytes = header_bytes
+        self.memory = Memory(host)
+        self.egress: Optional[Channel] = None  # wired by the Fabric
+        self.qps: Dict[int, QueuePair] = {}
+        self._qpn_counter = itertools.count(1)
+        self._msg_counter = itertools.count(1)
+        self._mcast_attached: Dict[int, List[int]] = collections.defaultdict(list)
+        # (src_host, src_qpn, msg_id) -> reassembly state
+        self._reassembly: Dict[Tuple[int, int, int], _Reassembly] = {}
+        # RC sends that arrived before a recv WR was posted: per local qpn
+        self._rc_pending: Dict[int, Deque[Packet]] = collections.defaultdict(collections.deque)
+        # RC write-with-imm notifications parked for the same reason
+        self._parked_imm: Dict[int, List[tuple]] = {}
+        # fully-arrived RC sends awaiting a receive WR
+        self._rc_complete_sends: Dict[int, List[tuple]] = {}
+        self.rnr_drops = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    # ----------------------------------------------------------------- verbs
+
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(self.sim, name or f"h{self.host}-cq")
+
+    def create_qp(
+        self,
+        transport: Transport,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+        max_recv_wr: int = 8192,
+    ) -> QueuePair:
+        qpn = next(self._qpn_counter)
+        # NB: explicit None checks — an empty CompletionQueue is falsy.
+        qp = QueuePair(
+            self,
+            qpn,
+            transport,
+            send_cq if send_cq is not None else self.create_cq(),
+            recv_cq if recv_cq is not None else self.create_cq(),
+            max_recv_wr=max_recv_wr,
+        )
+        self.qps[qpn] = qp
+        return qp
+
+    def attach_mcast(self, gid: int, qpn: int) -> None:
+        self.fabric.register_mcast_member(gid, self.host)
+        if qpn not in self._mcast_attached[gid]:
+            self._mcast_attached[gid].append(qpn)
+
+    def detach_mcast(self, gid: int, qpn: int) -> None:
+        if qpn in self._mcast_attached.get(gid, ()):
+            self._mcast_attached[gid].remove(qpn)
+
+    # ------------------------------------------------------------- send path
+
+    def _execute_send(self, qp: QueuePair, wr: SendWR) -> None:
+        if wr.verb == "read":
+            self._execute_read(qp, wr)
+            return
+        if wr.inline_data is not None:
+            # Inline send: snapshot the payload at post time (IB semantics).
+            import numpy as _np
+
+            data = _np.asarray(wr.inline_data)
+            if data.dtype != _np.uint8:
+                data = data.view(_np.uint8)
+            data = data.copy()
+            wr = SendWR(**{**wr.__dict__, "inline_data": None, "length": int(data.nbytes)})
+        else:
+            mr = self.memory.lookup(wr.mr_key) if wr.length > 0 else None
+            data = mr.view(wr.offset, wr.length) if mr is not None else None
+        if wr.mcast_gid is not None:
+            dst = MCAST_FLAG + wr.mcast_gid
+        else:
+            dst = wr.dst if qp.transport is Transport.UD else qp.peer[0]
+        dst_qpn = wr.dst_qpn if qp.transport is Transport.UD else (
+            qp.peer[1] if qp.peer else None
+        )
+        if wr.verb == "send":
+            kind = {
+                Transport.UD: PacketKind.UD_SEND,
+                Transport.RC: PacketKind.RC_SEND,
+                Transport.UC: PacketKind.RC_SEND,  # UC two-sided behaves alike
+            }[qp.transport]
+        else:  # write
+            kind = PacketKind.UC_WRITE if qp.transport is Transport.UC else PacketKind.RC_WRITE
+
+        # Segment into MTU-sized packets.
+        length = wr.length
+        n_seg = max(1, -(-length // self.mtu))
+        msg_id = next(self._msg_counter)
+        last_finish = self.sim.now
+        for seg in range(n_seg):
+            lo = seg * self.mtu
+            hi = min(length, lo + self.mtu)
+            payload = data[lo:hi] if data is not None and hi > lo else None
+            pkt = Packet(
+                src=self.host,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+                payload_len=hi - lo,
+                header_bytes=self.header_bytes,
+                imm=wr.imm if seg == n_seg - 1 else None,
+                qpn=dst_qpn,
+                src_qpn=qp.qpn,
+                msg_id=msg_id,
+                msg_seq=seg,
+                msg_segments=n_seg,
+            )
+            if wr.verb == "write":
+                pkt.ctx = {
+                    "remote_key": wr.remote_key,
+                    "remote_offset": wr.remote_offset + lo,
+                }
+            last_finish = self._transmit(pkt)
+
+        if not wr.signaled:
+            return
+        opcode = Opcode.SEND if wr.verb == "send" else Opcode.RDMA_WRITE
+        cqe = CQE(wr_id=wr.wr_id, opcode=opcode, qpn=qp.qpn, byte_len=length, imm=wr.imm)
+        if qp.transport is Transport.RC:
+            # Reliable delivery: completion once the last segment is acked.
+            delay = (last_finish - self.sim.now) + self.fabric.one_way_delay(self.host, dst) * 2
+            self.sim.call_later(delay, qp.send_cq.push, cqe)
+        else:
+            # Unreliable: local completion when the last byte hits the wire.
+            self.sim.call_at(last_finish, qp.send_cq.push, cqe)
+
+    def _execute_read(self, qp: QueuePair, wr: SendWR) -> None:
+        """RDMA READ: header-only request; target NIC streams the response."""
+        target_host, target_qpn = qp.peer  # validated earlier
+        pkt = Packet(
+            src=self.host,
+            dst=target_host,
+            kind=PacketKind.RC_READ_REQ,
+            payload=None,
+            payload_len=0,
+            header_bytes=self.header_bytes,
+            qpn=target_qpn,
+            src_qpn=qp.qpn,
+            ctx={
+                "remote_key": wr.remote_key,
+                "remote_offset": wr.remote_offset,
+                "length": wr.length,
+                "sink_key": wr.mr_key,
+                "sink_offset": wr.offset,
+                "wr_id": wr.wr_id,
+                "signaled": wr.signaled,
+            },
+        )
+        self._transmit(pkt)
+
+    def _transmit(self, pkt: Packet) -> float:
+        if pkt.dst == self.host:
+            # Loopback: no wire, small constant DMA turnaround.
+            finish = self.sim.now + self.fabric.loopback_delay
+            self.sim.call_at(finish, self.receive, pkt, None)
+            return finish
+        if self.egress is None:
+            raise RuntimeError(f"NIC h{self.host} is not wired to the fabric")
+        return self.egress.transmit(pkt)
+
+    # ---------------------------------------------------------- receive path
+
+    def receive(self, packet: Packet, channel: Optional[Channel]) -> None:
+        """Called by the delivering channel (or loopback)."""
+        self.packets_received += 1
+        self.bytes_received += packet.payload_len
+        if packet.kind is PacketKind.INC_REDUCE:
+            # Host acting as the reduction root of a switchless INC tree.
+            tree = self.fabric._inc_trees.get(packet.mcast_gid)
+            if tree is not None:
+                from repro.net.topology import host_name
+
+                tree._accumulate(host_name(self.host), packet)
+            return
+        if packet.is_multicast:
+            for qpn in list(self._mcast_attached.get(packet.mcast_gid, ())):
+                qp = self.qps.get(qpn)
+                if qp is not None:
+                    self._deliver(qp, packet)
+            return
+        if packet.qpn is None or packet.qpn not in self.qps:
+            return  # stale/unroutable packet: silently dropped, like HW
+        self._deliver(self.qps[packet.qpn], packet)
+
+    def _deliver(self, qp: QueuePair, packet: Packet) -> None:
+        kind = packet.kind
+        if kind is PacketKind.UD_SEND:
+            self._deliver_ud(qp, packet)
+        elif kind is PacketKind.UC_WRITE:
+            self._deliver_write(qp, packet, reliable=False)
+        elif kind is PacketKind.RC_WRITE:
+            self._deliver_write(qp, packet, reliable=True)
+        elif kind is PacketKind.RC_SEND:
+            self._deliver_rc_send(qp, packet)
+        elif kind is PacketKind.RC_READ_REQ:
+            self._serve_read(qp, packet)
+        elif kind is PacketKind.RC_READ_RESP:
+            self._absorb_read_response(qp, packet)
+
+    def _deliver_ud(self, qp: QueuePair, packet: Packet) -> None:
+        if not qp.recv_queue:
+            qp.rnr_drops += 1
+            self.rnr_drops += 1
+            return
+        wr = qp.recv_queue.popleft()
+        n = packet.payload_len
+        if n > wr.length:
+            qp.rnr_drops += 1  # buffer too small: local length error ≈ drop
+            self.rnr_drops += 1
+            return
+        if packet.payload is not None and n > 0:
+            self.memory.lookup(wr.mr_key).view(wr.offset, n)[:] = packet.payload[:n]
+        qp.recv_cq.push(
+            CQE(
+                wr_id=wr.wr_id,
+                opcode=Opcode.RECV,
+                qpn=qp.qpn,
+                byte_len=n,
+                imm=packet.imm,
+                src=packet.src,
+                src_qpn=packet.src_qpn,
+            )
+        )
+
+    def _deliver_write(self, qp: QueuePair, packet: Packet, reliable: bool) -> None:
+        # Place the segment directly at its remote address.
+        ctx = packet.ctx
+        try:
+            dst = self.memory.lookup(ctx["remote_key"]).view(
+                ctx["remote_offset"], packet.payload_len
+            )
+        except (KeyError, IndexError):
+            if reliable:
+                raise  # RC would fatally NAK; surface the protocol bug
+            return  # UC silently drops bad placements
+        if packet.payload is not None and packet.payload_len:
+            dst[:] = packet.payload[: packet.payload_len]
+        key = (packet.src, packet.src_qpn or 0, packet.msg_id or 0)
+        state = self._reassembly.get(key)
+        if state is None:
+            state = self._reassembly[key] = _Reassembly(packet.msg_segments)
+            state.first_ts = self.sim.now
+        state.arrived += 1
+        state.byte_len += packet.payload_len
+        if packet.imm is not None:
+            state.imm = packet.imm
+        if state.arrived < state.segments:
+            return
+        del self._reassembly[key]
+        # Whole message placed; write-with-immediate consumes a recv WR.
+        if state.imm is None:
+            return
+        if not qp.recv_queue:
+            if reliable:
+                # RC hardware RNR-retries until a receive shows up; the
+                # data is already placed, only the notification is parked.
+                self._parked_imm.setdefault(qp.qpn, []).append(
+                    (packet, state.byte_len, state.imm)
+                )
+            else:
+                qp.rnr_drops += 1
+                self.rnr_drops += 1
+            return
+        wr = qp.recv_queue.popleft()
+        qp.recv_cq.push(
+            CQE(
+                wr_id=wr.wr_id,
+                opcode=Opcode.RECV_RDMA_WITH_IMM,
+                qpn=qp.qpn,
+                byte_len=state.byte_len,
+                imm=state.imm,
+                src=packet.src,
+                src_qpn=packet.src_qpn,
+            )
+        )
+
+    def _deliver_rc_send(self, qp: QueuePair, packet: Packet) -> None:
+        key = (packet.src, packet.src_qpn or 0, packet.msg_id or 0)
+        state = self._reassembly.get(key)
+        if state is None:
+            state = self._reassembly[key] = _Reassembly(packet.msg_segments)
+        state.arrived += 1
+        state.byte_len += packet.payload_len
+        if packet.imm is not None:
+            state.imm = packet.imm
+        # Keep the segment's payload until a receive WR lands it.
+        self._rc_pending[qp.qpn].append(packet)
+        if state.arrived < state.segments:
+            return
+        del self._reassembly[key]
+        if not qp.recv_queue:
+            # RC never drops: hardware RNR-retries until a WR shows up.
+            self._rc_complete_sends.setdefault(qp.qpn, []).append(
+                (key, state.byte_len, state.imm, packet.src, packet.src_qpn)
+            )
+            return
+        self._consume_rc_send(qp, key, state.byte_len, state.imm,
+                              packet.src, packet.src_qpn)
+
+    def _consume_rc_send(self, qp: QueuePair, key, byte_len: int,
+                         imm: Optional[int], src, src_qpn) -> None:
+        wr = qp.recv_queue.popleft()
+        # Gather every parked segment of this message (any arrival order;
+        # placement is by segment sequence number).
+        segments = [p for p in self._rc_pending[qp.qpn]
+                    if (p.src, p.src_qpn or 0, p.msg_id or 0) == key]
+        self._rc_pending[qp.qpn] = collections.deque(
+            p for p in self._rc_pending[qp.qpn]
+            if (p.src, p.src_qpn or 0, p.msg_id or 0) != key
+        )
+        dst_mr = self.memory.lookup(wr.mr_key)
+        if byte_len > wr.length:
+            raise RuntimeError(
+                f"RC send of {byte_len} B larger than posted recv of {wr.length} B"
+            )
+        for p in segments:
+            if p.payload is not None and p.payload_len:
+                off = wr.offset + p.msg_seq * self.mtu
+                dst_mr.view(off, p.payload_len)[:] = p.payload[: p.payload_len]
+        qp.recv_cq.push(
+            CQE(
+                wr_id=wr.wr_id,
+                opcode=Opcode.RECV,
+                qpn=qp.qpn,
+                byte_len=byte_len,
+                imm=imm,
+                src=src,
+                src_qpn=src_qpn,
+            )
+        )
+
+    def _drain_rc_pending(self, qp: QueuePair) -> None:
+        """Called when a recv WR is posted: complete parked RC messages."""
+        parked = self._parked_imm.get(qp.qpn)
+        if parked and qp.recv_queue:
+            packet, byte_len, imm = parked.pop(0)
+            wr = qp.recv_queue.popleft()
+            qp.recv_cq.push(
+                CQE(
+                    wr_id=wr.wr_id,
+                    opcode=Opcode.RECV_RDMA_WITH_IMM,
+                    qpn=qp.qpn,
+                    byte_len=byte_len,
+                    imm=imm,
+                    src=packet.src,
+                    src_qpn=packet.src_qpn,
+                )
+            )
+            return
+        complete = self._rc_complete_sends.get(qp.qpn)
+        if complete and qp.recv_queue:
+            key, byte_len, imm, src, src_qpn = complete.pop(0)
+            self._consume_rc_send(qp, key, byte_len, imm, src, src_qpn)
+
+    # ----------------------------------------------------------- RDMA READ
+
+    def _serve_read(self, qp: QueuePair, packet: Packet) -> None:
+        """Target side: stream the requested bytes back (hardware-only)."""
+        ctx = packet.ctx
+        src_mr = self.memory.lookup(ctx["remote_key"])
+        length = ctx["length"]
+        data = src_mr.view(ctx["remote_offset"], length)
+        n_seg = max(1, -(-length // self.mtu))
+        msg_id = next(self._msg_counter)
+        for seg in range(n_seg):
+            lo = seg * self.mtu
+            hi = min(length, lo + self.mtu)
+            resp = Packet(
+                src=self.host,
+                dst=packet.src,
+                kind=PacketKind.RC_READ_RESP,
+                payload=data[lo:hi],
+                payload_len=hi - lo,
+                header_bytes=self.header_bytes,
+                qpn=packet.src_qpn,
+                src_qpn=qp.qpn,
+                msg_id=msg_id,
+                msg_seq=seg,
+                msg_segments=n_seg,
+                ctx={
+                    "sink_key": ctx["sink_key"],
+                    "sink_offset": ctx["sink_offset"] + lo,
+                    "wr_id": ctx["wr_id"],
+                    "signaled": ctx["signaled"],
+                },
+            )
+            self._transmit(resp)
+
+    def _absorb_read_response(self, qp: QueuePair, packet: Packet) -> None:
+        ctx = packet.ctx
+        if packet.payload is not None and packet.payload_len:
+            self.memory.lookup(ctx["sink_key"]).view(
+                ctx["sink_offset"], packet.payload_len
+            )[:] = packet.payload[: packet.payload_len]
+        key = (packet.src, packet.src_qpn or 0, packet.msg_id or 0)
+        state = self._reassembly.get(key)
+        if state is None:
+            state = self._reassembly[key] = _Reassembly(packet.msg_segments)
+        state.arrived += 1
+        state.byte_len += packet.payload_len
+        if state.arrived < state.segments:
+            return
+        del self._reassembly[key]
+        if ctx["signaled"]:
+            qp.send_cq.push(
+                CQE(
+                    wr_id=ctx["wr_id"],
+                    opcode=Opcode.RDMA_READ,
+                    qpn=qp.qpn,
+                    byte_len=state.byte_len,
+                    src=packet.src,
+                )
+            )

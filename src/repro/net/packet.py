@@ -1,0 +1,151 @@
+"""Packets on the simulated wire.
+
+A :class:`Packet` is the unit the link/switch layer moves around.  Payloads
+are **zero-copy views** into the sender's registered memory (numpy slices);
+the receive path copies out of the view on delivery, mirroring how real
+RDMA hardware DMA-reads the source buffer at transmit time.
+
+Packet sizes on the wire include a configurable per-packet header overhead
+(IB LRH+GRH+BTH+ICRC etc.); traffic counters can report either wire bytes
+or payload bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["PacketKind", "Packet", "MCAST_FLAG"]
+
+#: Destination ids at or above this value denote multicast group ids
+#: (``MCAST_FLAG + gid``), mirroring the IB multicast LID range.
+MCAST_FLAG = 1 << 24
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """What the packet carries, i.e. which receive path handles it."""
+
+    UD_SEND = "ud_send"  #: datagram with immediate data (multicastable)
+    UC_WRITE = "uc_write"  #: segment of an RDMA write (multicastable ext.)
+    RC_SEND = "rc_send"  #: reliable two-sided send
+    RC_WRITE = "rc_write"  #: segment of a reliable one-sided write
+    RC_READ_REQ = "rc_read_req"  #: read request (header-only)
+    RC_READ_RESP = "rc_read_resp"  #: segment of a read response
+    INC_REDUCE = "inc_reduce"  #: in-network-compute contribution (SHARP-like)
+    CONTROL = "control"  #: protocol-internal control datagram
+
+
+@dataclass
+class Packet:
+    """One wire packet.
+
+    Attributes
+    ----------
+    src:
+        Sender host id.
+    dst:
+        Destination host id, or ``MCAST_FLAG + gid`` for multicast.
+    kind:
+        The :class:`PacketKind`.
+    payload:
+        Zero-copy ``numpy`` view of the payload bytes (may be ``None`` for
+        header-only packets such as read requests).
+    payload_len:
+        Length in bytes of the payload (kept explicitly so header-only
+        packets can still declare a logical length, e.g. read requests).
+    header_bytes:
+        Per-packet header overhead added to the wire size.
+    imm:
+        32-bit immediate value (the Broadcast protocol stores the PSN here).
+    qpn:
+        Destination queue-pair number (ignored for multicast, where the
+        group id selects attached QPs).
+    src_qpn:
+        Sender queue-pair number (reported in receive CQEs, UD-style).
+    msg_id / msg_seq / msg_segments:
+        Multi-packet message bookkeeping (UC/RC writes, read responses):
+        which message this segment belongs to, its index, and the total
+        segment count.
+    ctx:
+        Free-form per-packet context used by NIC internals (e.g. remote
+        address of a write segment).
+    """
+
+    src: int
+    dst: int
+    kind: PacketKind
+    payload: Optional[np.ndarray] = None
+    payload_len: int = 0
+    header_bytes: int = 64
+    imm: Optional[int] = None
+    qpn: Optional[int] = None
+    src_qpn: Optional[int] = None
+    msg_id: Optional[int] = None
+    msg_seq: int = 0
+    msg_segments: int = 1
+    ctx: dict = field(default_factory=dict)
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload is not None and self.payload_len == 0:
+            self.payload_len = int(self.payload.nbytes)
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes occupied on the wire (payload + header overhead)."""
+        return self.payload_len + self.header_bytes
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.dst >= MCAST_FLAG
+
+    @property
+    def mcast_gid(self) -> int:
+        """Multicast group id (only valid when :attr:`is_multicast`)."""
+        if not self.is_multicast:
+            raise ValueError("not a multicast packet")
+        return self.dst - MCAST_FLAG
+
+    def clone_for_fanout(self) -> "Packet":
+        """A shallow copy used when a switch replicates a multicast packet.
+
+        The payload view is shared — replication does not copy data, just
+        as a real switch replicates frames out of its shared buffer.
+        """
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            payload=self.payload,
+            payload_len=self.payload_len,
+            header_bytes=self.header_bytes,
+            imm=self.imm,
+            qpn=self.qpn,
+            src_qpn=self.src_qpn,
+            msg_id=self.msg_id,
+            msg_seq=self.msg_seq,
+            msg_segments=self.msg_segments,
+            ctx=self.ctx,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = f"mcast:{self.mcast_gid}" if self.is_multicast else str(self.dst)
+        return (
+            f"<Packet #{self.pkt_id} {self.kind.value} {self.src}->{dst} "
+            f"len={self.payload_len} imm={self.imm}>"
+        )
+
+
+def mcast_dst(gid: int) -> int:
+    """Encode multicast group *gid* as a packet destination id."""
+    if gid < 0:
+        raise ValueError("group id must be non-negative")
+    return MCAST_FLAG + gid

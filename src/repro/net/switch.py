@@ -1,0 +1,110 @@
+"""Switch model: unicast forwarding, multicast replication, port counters.
+
+A switch owns one egress :class:`~repro.net.link.Channel` per neighbor.  On
+receiving a packet it applies a fixed forwarding delay, then either forwards
+along the unicast table (``dst host → neighbor``) or, for multicast,
+replicates the packet to every port that is part of the group's spanning
+tree except the ingress port — exactly how IB switches flood a multicast
+LID along the spanning tree installed by the subnet manager.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.net.link import Channel
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """A store-and-forward switch node."""
+
+    def __init__(self, sim: "Simulator", name: str, forwarding_delay: float = 0.0) -> None:
+        self.sim = sim
+        self.name = name
+        self.forwarding_delay = float(forwarding_delay)
+        #: neighbor node name → egress channel toward that neighbor
+        self.ports: Dict[str, Channel] = {}
+        #: destination host id → neighbor name
+        self.unicast_table: Dict[int, str] = {}
+        #: multicast gid → set of tree-adjacent neighbor names
+        self.mcast_table: Dict[int, Set[str]] = {}
+        #: optional in-network-compute hook: ``fn(switch, packet, in_port)``
+        #: consumes INC_REDUCE packets (installed by repro.net.inc)
+        self.inc_handler = None
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+
+    # ----------------------------------------------------------------- wiring
+
+    def add_port(self, channel: Channel) -> None:
+        """Register the egress channel toward ``channel.dst_name``."""
+        self.ports[channel.dst_name] = channel
+
+    def install_unicast(self, dst_host: int, neighbor: str) -> None:
+        if neighbor not in self.ports:
+            raise ValueError(f"{self.name}: no port toward {neighbor}")
+        self.unicast_table[dst_host] = neighbor
+
+    def install_mcast(self, gid: int, neighbors: Set[str]) -> None:
+        missing = neighbors - set(self.ports)
+        if missing:
+            raise ValueError(f"{self.name}: no ports toward {sorted(missing)}")
+        self.mcast_table[gid] = set(neighbors)
+
+    # ------------------------------------------------------------------ data
+
+    def receive(self, packet: Packet, in_channel: Optional[Channel]) -> None:
+        """Entry point called by the delivering channel."""
+        in_port = in_channel.src_name if in_channel is not None else None
+        if self.forwarding_delay > 0.0:
+            self.sim.call_later(self.forwarding_delay, self._forward, packet, in_port)
+        else:
+            self._forward(packet, in_port)
+
+    def _forward(self, packet: Packet, in_port: Optional[str]) -> None:
+        if self.inc_handler is not None and packet.kind.name == "INC_REDUCE":
+            self.inc_handler(self, packet, in_port)
+            return
+        if packet.is_multicast:
+            tree_ports = self.mcast_table.get(packet.mcast_gid)
+            if tree_ports is None:
+                self.packets_dropped_no_route += 1
+                return
+            for neighbor in sorted(tree_ports):
+                if neighbor == in_port:
+                    continue
+                self.ports[neighbor].transmit(packet.clone_for_fanout())
+                self.packets_forwarded += 1
+        else:
+            neighbor = self.unicast_table.get(packet.dst)
+            if neighbor is None:
+                self.packets_dropped_no_route += 1
+                return
+            self.ports[neighbor].transmit(packet)
+            self.packets_forwarded += 1
+
+    # -------------------------------------------------------------- counters
+
+    @property
+    def egress_wire_bytes(self) -> int:
+        """Total wire bytes transmitted out of all ports (PortXmitData)."""
+        return sum(ch.bytes_sent for ch in self.ports.values())
+
+    @property
+    def egress_payload_bytes(self) -> int:
+        return sum(ch.payload_bytes_sent for ch in self.ports.values())
+
+    def reset_counters(self) -> None:
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+        for ch in self.ports.values():
+            ch.reset_counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,322 @@
+"""Topology construction and routing.
+
+Node naming convention: host *i* is ``"h{i}"``; switches carry arbitrary
+(zero-padded) names such as ``"leaf003"`` or ``"spine01"``.
+
+Routing is *static and destination-based*, like an InfiniBand subnet
+manager's LFT programming: among equal-cost next hops toward destination
+``d`` a switch deterministically picks candidate ``d % n_candidates``
+(sorted by name).  This spreads flows to distinct destinations across the
+spine level — the property the paper's Fat-Tree arguments rely on — while
+keeping every run reproducible.
+
+Multicast groups get a spanning tree rooted at a core switch chosen from
+the group id, again mirroring SM behaviour: the tree is the union of the
+deterministic unicast paths from the root to every member.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Topology", "TopologySpec", "host_name", "host_id", "is_host"]
+
+
+def host_name(i: int) -> str:
+    """Canonical node name for host *i*."""
+    return f"h{i}"
+
+
+def host_id(name: str) -> int:
+    """Inverse of :func:`host_name`."""
+    if not is_host(name):
+        raise ValueError(f"{name!r} is not a host node")
+    return int(name[1:])
+
+
+def is_host(name: str) -> bool:
+    return name.startswith("h") and name[1:].isdigit()
+
+
+class Topology:
+    """An undirected graph of hosts and switches with routing helpers.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of hosts; they are named ``h0 … h{n-1}``.
+    edges:
+        Undirected edges between node names.
+    core_switches:
+        Switches eligible as multicast tree roots (spines in a fat-tree).
+        Defaults to all switches.
+    kind:
+        Human-readable tag ("leaf_spine", "star", ...).
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        edges: Iterable[Tuple[str, str]],
+        core_switches: Optional[Sequence[str]] = None,
+        kind: str = "custom",
+    ) -> None:
+        if n_hosts < 1:
+            raise ValueError("need at least one host")
+        self.n_hosts = n_hosts
+        self.kind = kind
+        self.adjacency: Dict[str, List[str]] = collections.defaultdict(list)
+        self.edges: List[Tuple[str, str]] = []
+        seen = set()
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on {a}")
+            key = (a, b) if a < b else (b, a)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.edges.append(key)
+            self.adjacency[a].append(b)
+            self.adjacency[b].append(a)
+        for name in self.adjacency:
+            self.adjacency[name].sort()
+        self.hosts = [host_name(i) for i in range(n_hosts)]
+        for h in self.hosts:
+            if h not in self.adjacency:
+                raise ValueError(f"host {h} is not connected")
+        self.switch_names = sorted(n for n in self.adjacency if not is_host(n))
+        self.core_switches = (
+            sorted(core_switches) if core_switches is not None else list(self.switch_names)
+        )
+        for h in self.hosts:
+            if len(self.adjacency[h]) != 1:
+                raise ValueError(f"host {h} must have exactly one attachment")
+        self._dist_cache: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def attach_point(self, host: int) -> str:
+        """The node (switch, or peer host in back-to-back) host *i* plugs into."""
+        return self.adjacency[host_name(host)][0]
+
+    def neighbors(self, name: str) -> List[str]:
+        return self.adjacency[name]
+
+    # --------------------------------------------------------------- routing
+
+    def _distances_to(self, dst: int) -> Dict[str, int]:
+        """BFS hop counts from every node to host *dst* (cached)."""
+        cached = self._dist_cache.get(dst)
+        if cached is not None:
+            return cached
+        start = host_name(dst)
+        dist = {start: 0}
+        queue = collections.deque([start])
+        while queue:
+            node = queue.popleft()
+            for nxt in self.adjacency[node]:
+                if nxt not in dist:
+                    dist[nxt] = dist[node] + 1
+                    queue.append(nxt)
+        self._dist_cache[dst] = dist
+        return dist
+
+    def next_hop(self, node: str, dst: int) -> str:
+        """Deterministic next hop from *node* toward host *dst*."""
+        if node == host_name(dst):
+            raise ValueError("already at destination")
+        dist = self._distances_to(dst)
+        if node not in dist:
+            raise ValueError(f"{node} cannot reach h{dst}")
+        d = dist[node]
+        candidates = [n for n in self.adjacency[node] if dist.get(n, 1 << 30) == d - 1]
+        assert candidates, "BFS invariant violated"
+        return candidates[dst % len(candidates)]
+
+    def path(self, src: int, dst: int) -> List[str]:
+        """Node names along the deterministic route from host src to dst."""
+        node = host_name(src)
+        out = [node]
+        while node != host_name(dst):
+            node = self.next_hop(node, dst)
+            out.append(node)
+        return out
+
+    def unicast_tables(self) -> Dict[str, Dict[int, str]]:
+        """Per-switch forwarding tables: ``switch → {dst_host → neighbor}``."""
+        tables: Dict[str, Dict[int, str]] = {sw: {} for sw in self.switch_names}
+        for dst in range(self.n_hosts):
+            dist = self._distances_to(dst)
+            for sw in self.switch_names:
+                if sw in dist and dist[sw] > 0:
+                    tables[sw][dst] = self.next_hop(sw, dst)
+        return tables
+
+    # ------------------------------------------------------------- multicast
+
+    def mcast_root(self, gid: int) -> Optional[str]:
+        """Core switch acting as the spanning-tree root for group *gid*."""
+        if not self.core_switches:
+            return None
+        return self.core_switches[gid % len(self.core_switches)]
+
+    def mcast_tree(self, gid: int, members: Sequence[int]) -> Dict[str, Set[str]]:
+        """Spanning-tree adjacency for a multicast group.
+
+        Returns ``node → set(tree neighbors)`` covering all member hosts.
+        Built as the union of deterministic unicast paths root→member, so
+        the tree inherits the routing's spine choice determinism.
+        """
+        members = sorted(set(members))
+        if len(members) < 2:
+            raise ValueError("a multicast group needs at least 2 members")
+        tree: Dict[str, Set[str]] = collections.defaultdict(set)
+        root = self.mcast_root(gid)
+        if root is None:
+            # Switchless topology (back-to-back): direct host-host edge.
+            if len(members) != 2:
+                raise ValueError("switchless multicast only supports 2 members")
+            a, b = host_name(members[0]), host_name(members[1])
+            if b not in self.adjacency[a]:
+                raise ValueError("members are not directly connected")
+            tree[a].add(b)
+            tree[b].add(a)
+            return dict(tree)
+        # Build a BFS spanning tree from the root (deterministic neighbor
+        # order, rotated by gid so distinct groups use distinct links), then
+        # keep only the branches leading to members.  A per-destination
+        # ECMP walk would not do: different members may pick different
+        # equal-cost mid switches, and the union would contain cycles on
+        # 3-level fat-trees.
+        parent: Dict[str, Optional[str]] = {root: None}
+        order = [root]
+        i = 0
+        while i < len(order):
+            node = order[i]
+            i += 1
+            neighbors = self.adjacency[node]
+            rot = gid % len(neighbors) if neighbors else 0
+            for nxt in neighbors[rot:] + neighbors[:rot]:
+                if nxt not in parent:
+                    parent[nxt] = node
+                    order.append(nxt)
+        for m in members:
+            node = host_name(m)
+            if node not in parent:
+                raise ValueError(f"member h{m} unreachable from {root}")
+            while parent[node] is not None:
+                up = parent[node]
+                tree[node].add(up)
+                tree[up].add(node)
+                node = up
+        return dict(tree)
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def back_to_back(cls) -> "Topology":
+        """Two hosts wired NIC-to-NIC (the paper's DPA testbed)."""
+        return cls(2, [(host_name(0), host_name(1))], core_switches=[], kind="back_to_back")
+
+    @classmethod
+    def star(cls, n_hosts: int) -> "Topology":
+        """All hosts on one switch (crossbar)."""
+        edges = [(host_name(i), "sw000") for i in range(n_hosts)]
+        return cls(n_hosts, edges, kind="star")
+
+    @classmethod
+    def leaf_spine(
+        cls, n_hosts: int, n_leaf: int, n_spine: int, hosts_per_leaf: Optional[int] = None
+    ) -> "Topology":
+        """Two-level fat-tree: every leaf connects to every spine.
+
+        Hosts fill leaves sequentially (``hosts_per_leaf`` each, default
+        ``ceil(n_hosts / n_leaf)``).
+        """
+        if hosts_per_leaf is None:
+            hosts_per_leaf = -(-n_hosts // n_leaf)
+        if n_leaf * hosts_per_leaf < n_hosts:
+            raise ValueError("not enough leaf capacity for hosts")
+        edges: List[Tuple[str, str]] = []
+        leaves = [f"leaf{i:03d}" for i in range(n_leaf)]
+        spines = [f"spine{i:03d}" for i in range(n_spine)]
+        for i in range(n_hosts):
+            edges.append((host_name(i), leaves[i // hosts_per_leaf]))
+        for leaf in leaves:
+            for spine in spines:
+                edges.append((leaf, spine))
+        return cls(n_hosts, edges, core_switches=spines, kind="leaf_spine")
+
+    @classmethod
+    def testbed_188(cls) -> "Topology":
+        """The paper's UCC testbed: 188 hosts, 18 switches (12 leaf + 6
+        spine, 16 hosts per leaf — consistent with 36-port SX6036)."""
+        return cls.leaf_spine(188, n_leaf=12, n_spine=6, hosts_per_leaf=16)
+
+    @classmethod
+    def fat_tree3(
+        cls,
+        n_hosts: int,
+        n_leaf: int,
+        n_mid: int,
+        n_core: int,
+        hosts_per_leaf: Optional[int] = None,
+        mid_group: Optional[int] = None,
+    ) -> "Topology":
+        """Three-level fat-tree (the Fig 2 scale shape, e.g. 1024 nodes on
+        radix-32 switches).
+
+        Leaves are partitioned into pods; each pod connects to a group of
+        ``mid_group`` middle switches (default: evenly split); every middle
+        switch connects to every core switch.  Multicast trees root at the
+        core level.
+        """
+        if hosts_per_leaf is None:
+            hosts_per_leaf = -(-n_hosts // n_leaf)
+        if n_leaf * hosts_per_leaf < n_hosts:
+            raise ValueError("not enough leaf capacity for hosts")
+        if mid_group is None:
+            mid_group = max(1, n_mid // max(1, n_leaf // 4))
+        leaves = [f"leaf{i:03d}" for i in range(n_leaf)]
+        mids = [f"mid{i:03d}" for i in range(n_mid)]
+        cores = [f"core{i:03d}" for i in range(n_core)]
+        edges: List[Tuple[str, str]] = []
+        for i in range(n_hosts):
+            edges.append((host_name(i), leaves[i // hosts_per_leaf]))
+        # Pods: contiguous groups of leaves share a group of mid switches.
+        n_groups = max(1, n_mid // mid_group)
+        for li, leaf in enumerate(leaves):
+            group = (li * n_groups // n_leaf) % n_groups
+            for m in range(mid_group):
+                edges.append((leaf, mids[(group * mid_group + m) % n_mid]))
+        for mid in mids:
+            for core in cores:
+                edges.append((mid, core))
+        return cls(n_hosts, edges, core_switches=cores, kind="fat_tree3")
+
+
+@dataclass
+class TopologySpec:
+    """Declarative topology description (handy for experiment configs)."""
+
+    kind: str = "star"
+    n_hosts: int = 2
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def build(self) -> Topology:
+        if self.kind == "star":
+            return Topology.star(self.n_hosts)
+        if self.kind == "back_to_back":
+            return Topology.back_to_back()
+        if self.kind == "leaf_spine":
+            return Topology.leaf_spine(
+                self.n_hosts,
+                n_leaf=self.params["n_leaf"],
+                n_spine=self.params["n_spine"],
+                hosts_per_leaf=self.params.get("hosts_per_leaf"),
+            )
+        if self.kind == "testbed_188":
+            return Topology.testbed_188()
+        raise ValueError(f"unknown topology kind {self.kind!r}")

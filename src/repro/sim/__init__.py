@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+Everything in :mod:`repro` that moves data "over the network" or "through a
+NIC" runs on top of this small, dependency-free discrete-event engine.  The
+engine is deliberately simpy-like:
+
+* :class:`~repro.sim.engine.Simulator` owns the virtual clock and the event
+  queue.
+* Protocol actors are plain Python generators (*processes*) that ``yield``
+  waitables — :class:`~repro.sim.events.Timeout`, :class:`~repro.sim.events.Event`,
+  other processes, or :func:`~repro.sim.events.any_of` / :func:`~repro.sim.events.all_of`
+  combinators.
+* All randomness flows through :class:`~repro.sim.random.RandomStreams` so
+  that every run is reproducible from a single seed.
+
+The engine is fully deterministic: simultaneous events are ordered by their
+scheduling sequence number, never by hash order or dict iteration order.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+    all_of,
+    any_of,
+)
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.primitives import Barrier, Resource, Store
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "all_of",
+    "any_of",
+]

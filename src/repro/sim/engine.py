@@ -1,0 +1,195 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of pending
+events.  Time only advances when :meth:`Simulator.run` (or
+:meth:`Simulator.step`) pops the next event; between events the model code
+runs instantaneously in virtual time.
+
+Determinism
+-----------
+Two events scheduled for the same instant fire in the order they were
+*scheduled* (FIFO), enforced with a monotonically increasing sequence
+number in the heap entries.  Model code must route all randomness through
+:class:`repro.sim.random.RandomStreams`; given the same seed, a simulation
+is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural simulation errors (negative delays, running a
+    finished simulator, an unhandled failure propagating out of a process)."""
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def actor(sim, name, period):
+    ...     for _ in range(2):
+    ...         yield Timeout(sim, period)
+    ...         log.append((sim.now, name))
+    >>> _ = sim.spawn(actor(sim, "a", 1.0))
+    >>> _ = sim.spawn(actor(sim, "b", 1.5))
+    >>> sim.run()
+    >>> log
+    [(1.0, 'a'), (1.5, 'b'), (2.0, 'a'), (3.0, 'b')]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now: float = float(start_time)
+        self._seq = itertools.count()
+        # Heap of (time, seq, event).  `seq` breaks ties deterministically.
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._running = False
+        self._processes: "List[Any]" = []  # live Process objects (for debugging)
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -------------------------------------------------------------- scheduling
+
+    def schedule(self, event: Event, delay: float = 0.0) -> Event:
+        """Arm *event* to trigger ``delay`` seconds from now.
+
+        The event's callbacks run when the clock reaches that instant.
+        Returns the event for chaining.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        return event
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Invoke ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        heapq.heappush(self._queue, (when, next(self._seq), ev))
+        ev._value = None
+        ev._ok = True
+        ev._triggered = True
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Invoke ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        return self.call_at(self._now + delay, fn, *args)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a :class:`Timeout` waitable that fires ``delay`` from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    # -------------------------------------------------------------- processes
+
+    def spawn(self, generator: Generator, name: Optional[str] = None):
+        """Start a process from a generator; returns the :class:`Process`.
+
+        The process begins execution at the current instant (before time
+        advances), mirroring simpy semantics.
+        """
+        from repro.sim.process import Process  # local import to avoid a cycle
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------- run
+
+    def step(self) -> float:
+        """Process the single next event; returns its timestamp."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self.events_processed += 1
+        event._fire()
+        return when
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the final virtual time.  ``until`` is exclusive for events
+        scheduled strictly after it; the clock is advanced to ``until`` when
+        the horizon is hit with events still pending.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Spawn *generator*, run the simulation, and return its result.
+
+        Convenience wrapper for "run this protocol to completion" call sites.
+        Raises if the process fails or the simulation drains before the
+        process finishes.
+        """
+        proc = self.spawn(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"simulation drained at t={self._now} before process "
+                f"{proc.name!r} completed"
+            )
+        if not proc.ok:
+            raise proc.value  # re-raise the process failure
+        return proc.value
+
+    def drain(self, events: Iterable[Event], until: Optional[float] = None) -> None:
+        """Run until every event in *events* has triggered."""
+        pending = [ev for ev in events if not ev.triggered]
+        while pending:
+            if not self._queue:
+                raise SimulationError(
+                    f"simulation drained at t={self._now} with {len(pending)} "
+                    "events still pending"
+                )
+            if until is not None and self._queue[0][0] > until:
+                raise SimulationError(f"horizon {until} reached with events pending")
+            self.step()
+            pending = [ev for ev in pending if not ev.triggered]

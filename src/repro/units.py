@@ -1,0 +1,93 @@
+"""Unit helpers and constants used throughout the library.
+
+All simulator-internal quantities are plain SI floats: **bytes** for sizes,
+**seconds** for time, **bytes/second** for bandwidth.  These helpers keep
+call sites readable (``link_bandwidth=gbit_per_s(200)``) and conversions
+honest (1 KiB = 1024 B, 1 Gbit/s = 1e9 bit/s — network vendors use decimal
+bits, memory uses binary bytes; the paper mixes both and so must we).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "kib",
+    "mib",
+    "gib",
+    "gbit_per_s",
+    "gib_per_s",
+    "to_gbit_per_s",
+    "to_gib_per_s",
+    "US",
+    "NS",
+    "MS",
+    "pretty_bytes",
+    "pretty_rate",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+US = 1e-6  #: one microsecond, in seconds
+NS = 1e-9  #: one nanosecond, in seconds
+MS = 1e-3  #: one millisecond, in seconds
+
+
+def kib(n: float) -> int:
+    """*n* KiB in bytes."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """*n* MiB in bytes."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """*n* GiB in bytes."""
+    return int(n * GiB)
+
+
+def gbit_per_s(n: float) -> float:
+    """*n* Gbit/s as bytes/second (decimal bits, as link vendors quote)."""
+    return n * 1e9 / 8.0
+
+
+def gib_per_s(n: float) -> float:
+    """*n* GiB/s as bytes/second."""
+    return n * GiB
+
+
+def to_gbit_per_s(bytes_per_s: float) -> float:
+    """bytes/second → Gbit/s."""
+    return bytes_per_s * 8.0 / 1e9
+
+
+def to_gib_per_s(bytes_per_s: float) -> float:
+    """bytes/second → GiB/s."""
+    return bytes_per_s / GiB
+
+
+def pretty_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.4g} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def pretty_rate(bytes_per_s: float) -> str:
+    """Human-readable bandwidth in Gbit/s."""
+    return f"{to_gbit_per_s(bytes_per_s):.4g} Gbit/s"

@@ -1,0 +1,52 @@
+"""OSU-benchmark-style sweeps.
+
+The paper follows scientific-benchmarking practice (§VI-A): warm-up
+iterations excluded from measurement, per-iteration times logged across
+all ranks, more iterations for small messages.  The simulator is
+deterministic, but we keep the same discipline — warm-ups matter because
+the first iteration pays lazy resource construction (control QP pairs),
+exactly like first-touch effects on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One (message size → metric) sample of a sweep."""
+
+    msg_bytes: int
+    durations: List[float]  #: per measured iteration
+
+    @property
+    def mean(self) -> float:
+        return sum(self.durations) / len(self.durations)
+
+    @property
+    def best(self) -> float:
+        return min(self.durations)
+
+    def throughput(self, total_bytes: int) -> float:
+        """bytes/s using the mean duration."""
+        return total_bytes / self.mean if self.mean > 0 else float("inf")
+
+
+def sweep(
+    run_once: Callable[[int], float],
+    sizes: Iterable[int],
+    warmup: int = 1,
+    iterations: int = 3,
+) -> List[SweepPoint]:
+    """Run ``run_once(msg_bytes) -> duration`` per size with OSU discipline."""
+    points = []
+    for size in sizes:
+        for _ in range(warmup):
+            run_once(size)
+        durations = [run_once(size) for _ in range(iterations)]
+        points.append(SweepPoint(size, durations))
+    return points

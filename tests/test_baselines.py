@@ -1,0 +1,241 @@
+"""Tests for the P2P baseline collectives and the INC substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    binary_tree_broadcast,
+    inc_reduce_scatter,
+    knomial_broadcast,
+    linear_allgather,
+    recursive_doubling_allgather,
+    ring_allgather,
+    ring_reduce_scatter,
+)
+from repro.core.baselines.bcast import knomial_tree
+from repro.net import Fabric, Topology
+from repro.sim import RandomStreams, Simulator
+from repro.units import gbit_per_s, kib
+
+
+def make_fabric(n=4, topo=None):
+    sim = Simulator()
+    return Fabric(sim, topo or Topology.star(n), link_bandwidth=gbit_per_s(56),
+                  streams=RandomStreams(0))
+
+
+def ag_data(p, nbytes):
+    return [np.random.default_rng(r).integers(0, 256, nbytes, dtype=np.uint8)
+            for r in range(p)]
+
+
+def verify_ag(result, data):
+    expected = np.concatenate(data)
+    return all(np.array_equal(buf, expected) for buf in result.buffers)
+
+
+# ---------------------------------------------------------------- allgather
+
+
+def test_ring_allgather_correct():
+    fabric = make_fabric(4)
+    data = ag_data(4, kib(16))
+    result = ring_allgather(fabric, data)
+    assert verify_ag(result, data)
+    assert result.duration > 0
+
+
+def test_ring_allgather_leaf_spine():
+    fabric = make_fabric(8, Topology.leaf_spine(8, 2, 2))
+    data = ag_data(8, kib(8))
+    assert verify_ag(ring_allgather(fabric, data), data)
+
+
+def test_linear_allgather_correct():
+    fabric = make_fabric(5)
+    data = ag_data(5, kib(4))
+    assert verify_ag(linear_allgather(fabric, data), data)
+
+
+def test_recursive_doubling_correct():
+    fabric = make_fabric(8, Topology.leaf_spine(8, 2, 2))
+    data = ag_data(8, kib(4))
+    assert verify_ag(recursive_doubling_allgather(fabric, data), data)
+
+
+def test_recursive_doubling_rejects_non_power_of_two():
+    fabric = make_fabric(6)
+    with pytest.raises(ValueError, match="power-of-two"):
+        recursive_doubling_allgather(fabric, ag_data(6, 1024))
+
+
+def test_allgather_single_rank():
+    fabric = make_fabric(2)
+    data = ag_data(1, 1024)
+    result = ring_allgather(fabric, data, hosts=[0])
+    assert verify_ag(result, data)
+
+
+def test_ring_injects_p_minus_1_buffers_per_rank():
+    """Insight 1: P2P allgather must inject N(P-1) bytes per rank."""
+    fabric = make_fabric(4)
+    n = kib(16)
+    result = ring_allgather(fabric, ag_data(4, n))
+    injected = result.traffic["host_injected_bytes"]
+    assert injected >= 4 * 3 * n
+    assert injected < 4 * 3 * n * 1.1
+
+
+# ------------------------------------------------------------------- bcast
+
+
+def test_knomial_tree_structure():
+    parent, children = knomial_tree(8, 2)
+    assert parent[0] is None
+    # Every non-root has a parent; edges = P-1.
+    assert sum(1 for p in parent if p is not None) == 7
+    assert sum(len(c) for c in children) == 7
+
+
+def test_knomial_tree_various_radices():
+    for p in (2, 3, 7, 16, 188):
+        for k in (2, 3, 4, 8):
+            parent, children = knomial_tree(p, k)
+            # All nodes reachable from 0.
+            seen = {0}
+            stack = [0]
+            while stack:
+                node = stack.pop()
+                for c in children[node]:
+                    assert c not in seen
+                    seen.add(c)
+                    stack.append(c)
+            assert len(seen) == p, (p, k)
+
+
+def test_knomial_broadcast_correct():
+    fabric = make_fabric(7)
+    data = np.random.default_rng(0).integers(0, 256, kib(32), dtype=np.uint8)
+    result = knomial_broadcast(fabric, 0, data)
+    assert all(np.array_equal(b, data) for b in result.buffers)
+
+
+def test_knomial_broadcast_nonzero_root():
+    fabric = make_fabric(6)
+    data = np.random.default_rng(0).integers(0, 256, kib(8), dtype=np.uint8)
+    result = knomial_broadcast(fabric, 3, data)
+    assert all(np.array_equal(b, data) for b in result.buffers)
+
+
+def test_binary_tree_broadcast_correct():
+    fabric = make_fabric(9, Topology.leaf_spine(9, 3, 2))
+    data = np.random.default_rng(1).integers(0, 256, kib(256), dtype=np.uint8)
+    result = binary_tree_broadcast(fabric, 0, data, segment_bytes=kib(32))
+    assert all(np.array_equal(b, data) for b in result.buffers)
+
+
+def test_binary_tree_broadcast_nonzero_root():
+    fabric = make_fabric(5)
+    data = np.random.default_rng(1).integers(0, 256, kib(64), dtype=np.uint8)
+    result = binary_tree_broadcast(fabric, 2, data, segment_bytes=kib(16))
+    assert all(np.array_equal(b, data) for b in result.buffers)
+
+
+def test_pipelined_tree_beats_knomial_for_large_messages():
+    data = np.random.default_rng(2).integers(0, 256, kib(512), dtype=np.uint8)
+    t_tree = binary_tree_broadcast(make_fabric(8), 0, data).duration
+    t_knom = knomial_broadcast(make_fabric(8), 0, data, radix=2).duration
+    assert t_tree < t_knom
+
+
+# ------------------------------------------------------------ reduce-scatter
+
+
+def rs_data(p, elems):
+    return [np.random.default_rng(100 + r).normal(size=elems).astype(np.float32)
+            for r in range(p)]
+
+
+def test_ring_reduce_scatter_correct():
+    fabric = make_fabric(4)
+    data = rs_data(4, 4096)
+    result = ring_reduce_scatter(fabric, data)
+    total = np.sum(data, axis=0)
+    shard = 4096 // 4
+    for r in range(4):
+        np.testing.assert_allclose(
+            result.buffers[r], total[r * shard : (r + 1) * shard], rtol=1e-4, atol=1e-4
+        )
+
+
+def test_ring_reduce_scatter_two_ranks():
+    fabric = make_fabric(2)
+    data = rs_data(2, 1024)
+    result = ring_reduce_scatter(fabric, data)
+    total = np.sum(data, axis=0)
+    np.testing.assert_allclose(result.buffers[0], total[:512], rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(result.buffers[1], total[512:], rtol=1e-4, atol=1e-4)
+
+
+def test_ring_reduce_scatter_uneven_rejected():
+    fabric = make_fabric(3)
+    with pytest.raises(ValueError, match="evenly"):
+        ring_reduce_scatter(fabric, rs_data(3, 1000))
+
+
+def test_inc_reduce_scatter_correct_star():
+    fabric = make_fabric(4)
+    data = rs_data(4, 4096)
+    result = inc_reduce_scatter(fabric, data)
+    total = np.sum(data, axis=0)
+    shard = 1024
+    for r in range(4):
+        np.testing.assert_allclose(
+            result.buffers[r], total[r * shard : (r + 1) * shard], rtol=1e-4, atol=1e-4
+        )
+
+
+def test_inc_reduce_scatter_leaf_spine():
+    fabric = make_fabric(8, Topology.leaf_spine(8, 2, 2))
+    data = rs_data(8, 8192)
+    result = inc_reduce_scatter(fabric, data)
+    total = np.sum(data, axis=0)
+    shard = 1024
+    for r in range(8):
+        np.testing.assert_allclose(
+            result.buffers[r], total[r * shard : (r + 1) * shard], rtol=1e-4, atol=1e-4
+        )
+
+
+def test_inc_reduce_scatter_back_to_back():
+    fabric = make_fabric(2, Topology.back_to_back())
+    data = rs_data(2, 2048)
+    result = inc_reduce_scatter(fabric, data)
+    total = np.sum(data, axis=0)
+    np.testing.assert_allclose(result.buffers[0], total[:1024], rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(result.buffers[1], total[1024:], rtol=1e-4, atol=1e-4)
+
+
+def test_inc_recv_path_is_shard_not_full_buffer():
+    """Fig 3 / Insight 2: INC RS is send-path bound — each NIC receives only
+    its N/P shard, while ring RS receives ~N(P-1)/P.  The send paths are
+    comparable (the whole contribution goes up either way)."""
+    data = rs_data(4, 65536)
+    f_inc = make_fabric(4, Topology.leaf_spine(4, 2, 2))
+    inc_reduce_scatter(f_inc, data)
+    inc_recv = sum(n.bytes_received for n in f_inc.nics.values())
+    f_ring = make_fabric(4, Topology.leaf_spine(4, 2, 2))
+    ring_reduce_scatter(f_ring, data)
+    ring_recv = sum(n.bytes_received for n in f_ring.nics.values())
+    # Ring delivers (P-1) shards per rank vs INC's 1 shard per rank.
+    assert inc_recv < ring_recv / 2
+
+
+# -------------------------------------------------------------------- shape
+
+
+def test_ring_ag_duration_grows_with_p():
+    n = kib(32)
+    d4 = ring_allgather(make_fabric(4), ag_data(4, n)).duration
+    d8 = ring_allgather(make_fabric(8), ag_data(8, n)).duration
+    assert d8 > d4 * 1.5  # ~(P-1) scaling

@@ -1,0 +1,33 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+from repro.__main__ import main
+
+
+def test_cli_demo_runs_and_verifies(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "data OK" in out
+
+
+def test_cli_experiments_lists_all_benches(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "bench_fig12_traffic_savings" in out
+    assert out.count("pytest benchmarks/") == 15
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "598 cycles/CQE" in out and "1084 cycles/CQE" in out
+
+
+def test_cli_speedup_small(capsys):
+    assert main(["speedup", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "P=4" in out and "1.50x" in out
+
+
+def test_cli_help_and_unknown(capsys):
+    assert main(["help"]) == 0
+    assert main(["frobnicate"]) == 2

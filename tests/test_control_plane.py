@@ -1,0 +1,162 @@
+"""Tests for the RC control plane: messaging, inboxes, barrier."""
+
+import pytest
+
+from repro.core.control import (
+    MSG_ACTIVATE,
+    MSG_BARRIER,
+    MSG_FETCH_ACK,
+    MSG_FETCH_REQ,
+    MSG_FINAL,
+    ControlPlane,
+)
+from repro.core.communicator import Communicator
+from repro.net import Fabric, Topology
+from repro.sim import Simulator
+from repro.units import gbit_per_s
+
+
+def make_planes(n=4):
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.star(n), link_bandwidth=gbit_per_s(56))
+    comm = Communicator(fabric)  # engines own the control planes
+    return sim, comm, [e.ctrl for e in comm.engines]
+
+
+def test_send_and_recv_typed_message():
+    sim, comm, planes = make_planes()
+    got = {}
+
+    def receiver():
+        msg = yield planes[1].recv(MSG_ACTIVATE, key=7, src=0)
+        got["msg"] = msg
+
+    sim.spawn(receiver())
+    planes[0].send(1, MSG_ACTIVATE, key=7, args=(42,))
+    sim.run()
+    assert got["msg"].src == 0
+    assert got["msg"].key == 7
+    assert got["msg"].args[0] == 42
+
+
+def test_messages_buffered_until_received():
+    sim, comm, planes = make_planes()
+    planes[0].send(1, MSG_FINAL, key=3)
+    sim.run()  # delivered before anyone is listening
+
+    def late():
+        msg = yield planes[1].recv(MSG_FINAL, key=3, src=0)
+        return msg.mtype
+
+    assert sim.run_process(late()) == MSG_FINAL
+
+
+def test_keyed_inboxes_do_not_cross():
+    sim, comm, planes = make_planes()
+    order = []
+
+    def receiver():
+        msg_b = yield planes[1].recv(MSG_ACTIVATE, key=2, src=0)
+        order.append(("b", msg_b.key))
+        msg_a = yield planes[1].recv(MSG_ACTIVATE, key=1, src=0)
+        order.append(("a", msg_a.key))
+
+    sim.spawn(receiver())
+    planes[0].send(1, MSG_ACTIVATE, key=1)
+    planes[0].send(1, MSG_ACTIVATE, key=2)
+    sim.run()
+    assert order == [("b", 2), ("a", 1)]
+
+
+def test_any_source_fetch_requests_are_acked():
+    """The engine's fetch server listens on a single any-source inbox and
+    acknowledges requests from any rank for any collective id."""
+    sim, comm, planes = make_planes()
+    acks = []
+
+    def requester(rank, cid):
+        planes[rank].send(2, MSG_FETCH_REQ, key=cid)
+        msg = yield planes[rank].recv(MSG_FETCH_ACK, key=cid, src=2)
+        acks.append((rank, msg.key))
+
+    sim.spawn(requester(0, 9))
+    sim.spawn(requester(3, 5))
+    sim.run()
+    assert (0, 9) in acks and (3, 5) in acks
+
+
+def test_recv_requires_src_for_directed_types():
+    sim, comm, planes = make_planes()
+    with pytest.raises(ValueError, match="source"):
+        planes[0].recv(MSG_FINAL, key=0)
+
+
+def test_message_arg_limit():
+    sim, comm, planes = make_planes()
+    with pytest.raises(ValueError, match="args"):
+        planes[0].send(1, MSG_ACTIVATE, key=0, args=(1, 2, 3, 4))
+
+
+def test_barrier_synchronizes_all_ranks():
+    sim, comm, planes = make_planes(4)
+    releases = []
+
+    def party(rank, delay):
+        yield sim.timeout(delay)
+        yield from planes[rank].barrier(tag=1, ranks=[0, 1, 2, 3])
+        releases.append((rank, sim.now))
+
+    for r, d in enumerate((0.0, 1e-5, 3e-5, 2e-5)):
+        sim.spawn(party(r, d))
+    sim.run()
+    assert len(releases) == 4
+    times = [t for _, t in releases]
+    # Nobody leaves before the last arrival at 30 µs.
+    assert min(times) >= 3e-5
+    # Dissemination: everyone leaves within ~2 rounds of RTTs of each other.
+    assert max(times) - min(times) < 2e-5
+
+
+def test_barrier_reusable_with_distinct_tags():
+    sim, comm, planes = make_planes(3)
+    done = []
+
+    def party(rank):
+        yield from planes[rank].barrier(tag=10, ranks=[0, 1, 2])
+        yield from planes[rank].barrier(tag=11, ranks=[0, 1, 2])
+        done.append(rank)
+
+    for r in range(3):
+        sim.spawn(party(r))
+    sim.run()
+    assert sorted(done) == [0, 1, 2]
+
+
+def test_barrier_subset_of_ranks():
+    sim, comm, planes = make_planes(4)
+    done = []
+
+    def party(rank):
+        yield from planes[rank].barrier(tag=2, ranks=[0, 2])
+        done.append(rank)
+
+    sim.spawn(party(0))
+    sim.spawn(party(2))
+    sim.run()
+    assert sorted(done) == [0, 2]
+
+
+def test_ctrl_pairs_created_lazily():
+    sim, comm, planes = make_planes(4)
+    assert len(planes[0].qps) == 0
+    planes[0].send(3, MSG_BARRIER, key=0)
+    assert 3 in planes[0].qps
+    assert 0 in planes[3].qps  # remote side adopted too
+
+
+def test_message_counters():
+    sim, comm, planes = make_planes(2)
+    planes[0].send(1, MSG_FETCH_ACK, key=0)
+    sim.run()
+    assert planes[0].messages_sent == 1
+    assert planes[1].messages_received == 1

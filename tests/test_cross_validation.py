@@ -1,0 +1,100 @@
+"""Cross-validation: the closed-form time models vs the packet-level DES.
+
+DESIGN.md promises the two fidelities agree on small configurations —
+these tests hold the simulator to the alpha-beta arithmetic (and vice
+versa): ring Allgather to its (P−1)·N/B form, multicast Broadcast to its
+constant-time N/B form, the traffic counters to the Fig 2 byte model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import ring_allgather
+from repro.core.communicator import CollectiveConfig, Communicator
+from repro.core.costmodel import HostCostModel
+from repro.models import (
+    FatTreeTraffic,
+    time_mcast_bcast,
+    time_ring_allgather,
+)
+from repro.net import Fabric, Topology
+from repro.sim import Simulator
+from repro.units import KiB, gbit_per_s
+
+
+def star_fabric(n, link=gbit_per_s(56)):
+    return Fabric(Simulator(), Topology.star(n), link_bandwidth=link)
+
+
+def test_ring_allgather_matches_alpha_beta():
+    p, n = 8, 256 * KiB
+    fabric = star_fabric(p)
+    data = [np.full(n, r, dtype=np.uint8) for r in range(p)]
+    res = ring_allgather(fabric, data, cost=HostCostModel.free())
+    model = time_ring_allgather(
+        n, p,
+        bandwidth=fabric.link_bandwidth,
+        latency=2 * fabric.link_latency,  # two hops per step on a star
+    )
+    # Wire model within 15% (header overhead + switch delay are extra).
+    assert res.duration == pytest.approx(model, rel=0.15)
+    assert res.duration >= model  # the DES can only add overheads
+
+
+def test_mcast_broadcast_matches_constant_time_model():
+    n = 512 * KiB
+    durations = {}
+    for p in (4, 16):
+        fabric = star_fabric(p)
+        comm = Communicator(fabric, config=CollectiveConfig(cost=HostCostModel.free()))
+        data = np.random.default_rng(0).integers(0, 256, n, dtype=np.uint8)
+        res = comm.broadcast(0, data)
+        assert res.verify_broadcast(data)
+        durations[p] = res.duration
+    model = time_mcast_bcast(n, 16, bandwidth=gbit_per_s(56))
+    # Constant in P and within 25% of N/B (sync + per-chunk pipeline on top).
+    assert durations[16] == pytest.approx(durations[4], rel=0.1)
+    assert durations[16] == pytest.approx(model, rel=0.25)
+
+
+def test_switch_counters_match_traffic_model():
+    """Measured multicast Allgather bytes = P · N · (tree links) exactly."""
+    p, n = 16, 64 * KiB
+    fabric = Fabric(Simulator(), Topology.star(p), link_bandwidth=gbit_per_s(56))
+    comm = Communicator(fabric, config=CollectiveConfig(chunk_size=4096))
+    data = [np.full(n, r, dtype=np.uint8) for r in range(p)]
+    res = comm.allgather(data)
+    assert res.verify_allgather(data)
+    # Star: the multicast tree has exactly P host links; every sender's
+    # buffer leaves the switch P−1 times (no self-delivery).
+    payload = res.traffic["switch_payload_bytes"]
+    exact = p * (p - 1) * n
+    assert payload == pytest.approx(exact, rel=0.02)  # + control messages
+
+
+def test_node_boundary_measured_equals_closed_form():
+    p, n = 8, 32 * KiB
+    model = FatTreeTraffic(n_hosts=p, radix=32).mcast_node_bytes(n)
+    fabric = star_fabric(p)
+    comm = Communicator(fabric)
+    data = [np.full(n, r, dtype=np.uint8) for r in range(p)]
+    res = comm.allgather(data)
+    assert res.verify_allgather(data)
+    injected_per_nic = res.traffic["host_injected_bytes"] / p
+    assert injected_per_nic == pytest.approx(model["tx"], rel=0.05)
+
+
+def test_des_duration_scales_linearly_with_buffer():
+    """Both models predict time ∝ N at fixed P; the DES must agree."""
+    p = 4
+    durations = []
+    # Sizes large enough that wire time dwarfs the fixed sync/handshake.
+    for n in (512 * KiB, 1024 * KiB, 2048 * KiB):
+        fabric = star_fabric(p)
+        comm = Communicator(fabric, config=CollectiveConfig(cost=HostCostModel.free()))
+        data = np.random.default_rng(1).integers(0, 256, n, dtype=np.uint8)
+        durations.append(comm.broadcast(0, data).duration)
+    r1 = durations[1] / durations[0]
+    r2 = durations[2] / durations[1]
+    assert r1 == pytest.approx(2.0, rel=0.15)
+    assert r2 == pytest.approx(2.0, rel=0.15)

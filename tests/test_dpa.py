@@ -1,0 +1,202 @@
+"""Tests for the DPA/SmartNIC cycle-approximate model."""
+
+import pytest
+
+from repro.dpa import (
+    DPA_BF3,
+    MTCoreSim,
+    Segment,
+    Trace,
+    chunk_rate_scaling,
+    cpu_datapath_throughput,
+    dpa_single_thread_metrics,
+    dpa_thread_scaling,
+    dpa_throughput,
+    dpa_uc_trace,
+    dpa_ud_trace,
+    uc_chunk_size_sweep,
+)
+from repro.units import MiB, gbit_per_s, to_gbit_per_s, to_gib_per_s
+
+
+# -------------------------------------------------------------------- traces
+
+
+def test_ud_trace_matches_table1_calibration():
+    t = dpa_ud_trace()
+    assert t.compute_cycles == 113  # instructions/CQE
+    assert t.total_cycles == 1084  # cycles/CQE
+    assert round(t.ipc, 2) == 0.10
+
+
+def test_uc_trace_matches_table1_calibration():
+    t = dpa_uc_trace()
+    assert t.compute_cycles == 66
+    assert t.total_cycles == 598
+    assert round(t.ipc, 2) == 0.11
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        Segment("warp", 10)
+    with pytest.raises(ValueError):
+        Segment("compute", -1)
+
+
+def test_trace_scaled():
+    t = dpa_uc_trace().scaled(compute_factor=2.0)
+    assert t.compute_cycles == 132
+    assert t.stall_cycles == dpa_uc_trace().stall_cycles
+
+
+# ---------------------------------------------------------------- core model
+
+
+def test_single_thread_rate_matches_cycle_arithmetic():
+    trace = dpa_ud_trace()
+    sim = MTCoreSim(DPA_BF3.freq_hz)
+    run = sim.run(trace, n_threads=1, n_items=256, chunk_bytes=4096)
+    expected = DPA_BF3.freq_hz / trace.effective_cycles
+    assert run.items_per_second == pytest.approx(expected, rel=0.01)
+
+
+def test_threads_hide_stalls_linearly_at_first():
+    trace = dpa_ud_trace()
+    sim = MTCoreSim(DPA_BF3.freq_hz)
+    r1 = sim.run(trace, 1, 512, 4096).items_per_second
+    r4 = sim.run(trace, 4, 512, 4096).items_per_second
+    assert r4 > 3.5 * r1  # near-linear while stalls dominate
+
+
+def test_issue_pipeline_caps_per_core_rate():
+    trace = dpa_ud_trace()
+    sim = MTCoreSim(DPA_BF3.freq_hz, threads_per_core=16)
+    r16 = sim.run(trace, 16, 4096, 64).items_per_second
+    cap = DPA_BF3.freq_hz / trace.compute_cycles  # 1 core's issue limit
+    assert r16 <= cap * 1.01
+    assert r16 > cap * 0.85  # and it gets close
+
+
+def test_second_core_doubles_ceiling():
+    trace = dpa_ud_trace()
+    sim = MTCoreSim(DPA_BF3.freq_hz, threads_per_core=16)
+    r16 = sim.run(trace, 16, 8192, 64).items_per_second
+    r32 = sim.run(trace, 32, 8192, 64).items_per_second
+    assert r32 > r16 * 1.7
+
+
+def test_arrival_gating_caps_at_link_rate():
+    trace = dpa_uc_trace()
+    sim = MTCoreSim(DPA_BF3.freq_hz)
+    interval = 4160 / gbit_per_s(200)  # 4 KiB + header on 200G
+    run = sim.run(trace, 16, 2048, 4096, arrival_interval=interval)
+    assert run.bytes_per_second <= 4096 / interval * 1.01
+
+
+# --------------------------------------------------------------- Table I
+
+
+def test_table1_throughputs():
+    uc = dpa_single_thread_metrics("uc")
+    ud = dpa_single_thread_metrics("ud")
+    # UC ≈ 11.5 GiB/s, UD ≈ 5.2 GiB/s on our model (paper: 11.9 / 5.2);
+    # the ~2x UC-over-UD relation is the shape that must hold.
+    assert 10.0 < uc.throughput_gib_s < 13.5
+    assert 4.5 < ud.throughput_gib_s < 6.5
+    assert uc.throughput > 1.6 * ud.throughput
+    assert ud.cycles_per_cqe == pytest.approx(2 * uc.cycles_per_cqe, rel=0.1)
+
+
+def test_single_thread_below_200g_link():
+    """Fig 5/13: one thread cannot saturate the 200 Gbit/s link..."""
+    for transport in ("ud", "uc"):
+        m = dpa_single_thread_metrics(transport)
+        assert to_gbit_per_s(m.throughput) < 200
+
+
+# ------------------------------------------------------------ thread scaling
+
+
+def test_fig13_uc_saturates_with_4_threads():
+    scaling = dpa_thread_scaling("uc", threads=(1, 2, 4, 8))
+    goodput = 200e9 / 8 * 4096 / 4160
+    assert to_gbit_per_s(scaling[4]) > to_gbit_per_s(goodput) * 0.95
+
+
+def test_fig13_ud_needs_8_to_16_threads():
+    scaling = dpa_thread_scaling("ud", threads=(4, 8, 16))
+    goodput = 200e9 / 8 * 4096 / 4160
+    assert scaling[4] < goodput * 0.95  # 4 threads not enough for UD
+    assert scaling[16] > goodput * 0.95
+
+
+def test_fig13_monotone_nondecreasing():
+    scaling = dpa_thread_scaling("ud", threads=(1, 2, 4, 8, 16))
+    values = list(scaling.values())
+    assert all(b >= a * 0.99 for a, b in zip(values, values[1:]))
+
+
+def test_one_dpa_core_beats_single_cpu_core():
+    """§VI-C(d): 16 threads (1 core) outperform a CPU core by ~25 %."""
+    dpa = dpa_throughput("ud", 16)
+    cpu = cpu_datapath_throughput("rc_chunked", 8 * MiB)
+    assert dpa > cpu * 1.1
+
+
+# ------------------------------------------------------------------- Fig 15
+
+
+def test_fig15_bigger_chunks_need_fewer_threads():
+    sweep = uc_chunk_size_sweep(chunk_sizes=(4096, 65536), threads=(1, 2))
+    goodput_64k = 200e9 / 8 * 65536 / (65536 + 64)
+    # 64 KiB chunks reach line rate with a single thread...
+    assert sweep[65536][1] > goodput_64k * 0.9
+    # ...4 KiB chunks with one thread do not.
+    assert sweep[4096][1] < 200e9 / 8 * 0.6
+
+
+# ------------------------------------------------------------------- Fig 16
+
+
+def test_fig16_128_threads_sustain_tbit_rate():
+    """64 B chunks model the CQE arrival rate of a 1.6 Tbit/s link with
+    4 KiB MTU packets: ≈ 48.8 M chunks/s."""
+    target = 1600e9 / 8 / 4096  # chunk arrivals per second at 1.6 Tbit/s
+    rates = chunk_rate_scaling(threads=(16, 128), n_items=16384)
+    assert rates[128] > target
+    assert rates[16] < rates[128]
+
+
+def test_fig16_rate_scales_with_cores():
+    rates = chunk_rate_scaling(threads=(16, 32, 64), n_items=8192)
+    assert rates[32] > rates[16] * 1.6
+    assert rates[64] > rates[32] * 1.6
+
+
+# -------------------------------------------------------------------- Fig 5
+
+
+def test_fig5_single_cpu_core_below_line_rate():
+    for dp in ("ucx_ud", "rc_chunked"):
+        tput = cpu_datapath_throughput(dp, 8 * MiB)
+        assert to_gbit_per_s(tput) < 180, dp
+
+
+def test_fig5_ucx_ud_slower_than_rc_chunked():
+    """The software reliability layer costs throughput."""
+    ud = cpu_datapath_throughput("ucx_ud", 8 * MiB)
+    rc = cpu_datapath_throughput("rc_chunked", 8 * MiB)
+    assert ud < rc
+
+
+def test_fig5_throughput_rises_with_message_size():
+    small = cpu_datapath_throughput("ucx_ud", 16 * 1024)
+    large = cpu_datapath_throughput("ucx_ud", 8 * MiB)
+    assert large > small
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(ValueError):
+        dpa_single_thread_metrics("rc")
+    with pytest.raises(ValueError):
+        cpu_datapath_throughput("dpdk", 4096)

@@ -1,0 +1,126 @@
+"""Tests for the in-network-compute (SHARP-like) reduction substrate."""
+
+import numpy as np
+import pytest
+
+from repro.net import Fabric, RecvWR, Topology, Transport
+from repro.net.inc import IncTree
+from repro.sim import Simulator
+from repro.units import gbit_per_s
+from repro.workloads import run_concurrent_pair
+from repro.bench import coarse_config, make_fabric
+from repro.units import KiB
+
+
+def setup_tree(topo, members, shard_bytes, segment_bytes=4096):
+    sim = Simulator()
+    fabric = Fabric(sim, topo, link_bandwidth=gbit_per_s(56))
+    rkey = 999_999
+    qpn_of = {}
+    bufs = {}
+    for h in members:
+        nic = fabric.nic(h)
+        bufs[h] = nic.memory.register(shard_bytes, key=rkey)
+        qp = nic.create_qp(Transport.RC)
+        dummy = nic.memory.register(1)
+        for i in range(128):
+            qp.post_recv(RecvWR(wr_id=i, mr_key=dummy.key, offset=0, length=0))
+        qpn_of[h] = qp.qpn
+    tree = fabric.create_inc_tree(members, rkey, qpn_of, shard_bytes, segment_bytes)
+    return sim, fabric, tree, bufs
+
+
+def test_tree_structure_on_leaf_spine():
+    topo = Topology.leaf_spine(8, 2, 2)
+    sim, fabric, tree, _ = setup_tree(topo, list(range(8)), 4096)
+    # Every switch in the tree except the root has a parent.
+    roots = [n for n, role in tree.roles.items() if role.parent is None]
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.startswith("spine")
+    # Leaves expect one contribution per attached member host.
+    for name, role in tree.roles.items():
+        if name.startswith("leaf"):
+            assert role.expected == 4 + 0  # 4 hosts per leaf, no switch kids
+
+
+def test_owner_mapping_and_segments():
+    topo = Topology.star(4)
+    sim, fabric, tree, _ = setup_tree(topo, [0, 1, 2, 3], 8192, 4096)
+    assert tree.segs_per_shard == 2
+    assert tree.n_segments == 8
+    assert tree.owner_of(0) == (0, 0)
+    assert tree.owner_of(1) == (0, 4096)
+    assert tree.owner_of(2) == (1, 0)
+    assert tree.owner_of(7) == (3, 4096)
+    with pytest.raises(IndexError):
+        tree.owner_of(8)
+
+
+def test_switch_reduction_sums_contributions():
+    topo = Topology.star(3)
+    sim, fabric, tree, bufs = setup_tree(topo, [0, 1, 2], 4096, 4096)
+    contributions = {
+        h: np.full(1024, float(h + 1), dtype=np.float32) for h in (0, 1, 2)
+    }
+    # Each host injects its contribution for shard 0 (psn 0, owner host 0).
+    for h in (0, 1, 2):
+        tree.inject(h, 0, contributions[h].view(np.uint8))
+    sim.run()
+    result = bufs[0].buf.view(np.float32)
+    np.testing.assert_allclose(result, 6.0)  # 1 + 2 + 3
+
+
+def test_partial_contributions_do_not_emit():
+    topo = Topology.star(3)
+    sim, fabric, tree, bufs = setup_tree(topo, [0, 1, 2], 4096, 4096)
+    tree.inject(0, 0, np.ones(1024, dtype=np.float32).view(np.uint8))
+    tree.inject(1, 0, np.ones(1024, dtype=np.float32).view(np.uint8))
+    sim.run()  # third contribution never arrives
+    assert np.all(bufs[0].buf == 0)  # nothing delivered
+
+
+def test_tree_validation():
+    topo = Topology.star(4)
+    sim = Simulator()
+    fabric = Fabric(sim, topo)
+    with pytest.raises(ValueError, match="float32"):
+        IncTree(fabric, [0, 1], rkey=1, qpn_of={}, shard_bytes=1001)
+    with pytest.raises(ValueError, match="MTU"):
+        IncTree(fabric, [0, 1], rkey=1, qpn_of={}, shard_bytes=4096,
+                segment_bytes=fabric.mtu * 2)
+    with pytest.raises(ValueError, match="2 members"):
+        IncTree(fabric, [0], rkey=1, qpn_of={}, shard_bytes=4096)
+
+
+def test_fsdp_pair_modes_validated():
+    with pytest.raises(ValueError, match="mode"):
+        run_concurrent_pair(make_fabric(4, mtu=16 * KiB), "hybrid", 64 * KiB)
+
+
+def test_fsdp_pair_ring_mode_correct():
+    res = run_concurrent_pair(make_fabric(4, mtu=16 * KiB), "ring", 32 * KiB)
+    assert res.correct
+    assert res.makespan >= max(res.ag_duration, res.rs_duration) * 0.99
+
+
+def test_fsdp_pair_optimal_mode_correct():
+    res = run_concurrent_pair(
+        make_fabric(4, mtu=16 * KiB), "optimal", 32 * KiB,
+        config=coarse_config(16 * KiB, n_chains=4),
+    )
+    assert res.correct
+
+
+def test_fsdp_backward_pipeline_optimal_beats_ring():
+    """Multi-layer FSDP backward pass (§II-A): the bandwidth-optimal pair
+    wins layer after layer, so the whole step's communication shrinks."""
+    from repro.workloads import run_fsdp_backward_pipeline
+
+    layers = [32 * KiB, 64 * KiB, 32 * KiB]
+    t_ring = run_fsdp_backward_pipeline(
+        make_fabric(8, mtu=16 * KiB), "ring", layers)
+    t_opt = run_fsdp_backward_pipeline(
+        make_fabric(8, mtu=16 * KiB), "optimal", layers,
+        config=coarse_config(16 * KiB, n_chains=8))
+    assert t_opt < t_ring

@@ -1,0 +1,167 @@
+"""Tests for the analytical models (Figs 2, 3, 7; Appendix B)."""
+
+import pytest
+
+from repro.models import (
+    DEVICE_MEMORY,
+    FatTreeTraffic,
+    bitmap_bytes,
+    concurrent_speedup,
+    max_receive_buffer,
+    node_boundary_table,
+    time_knomial_bcast,
+    time_mcast_allgather,
+    time_mcast_bcast,
+    time_pipelined_tree_bcast,
+    time_ring_allgather,
+)
+from repro.models.memory import fig7_rows
+from repro.models.speedup import bandwidth_shares_optimal, bandwidth_shares_ring
+from repro.units import GiB, KiB, MiB, gbit_per_s
+
+
+# ------------------------------------------------------------------- Fig 2
+
+
+def test_fig2_savings_ratio_formula():
+    m = FatTreeTraffic(n_hosts=1024, radix=32)
+    assert m.savings_ratio() == pytest.approx(2 - 2 / 1024)
+
+
+def test_fig2_savings_approach_two():
+    small = FatTreeTraffic(n_hosts=4, radix=32).savings_ratio()
+    large = FatTreeTraffic(n_hosts=1024, radix=32).savings_ratio()
+    assert small < large < 2.0
+
+
+def test_fig2_fabric_savings_between_1_and_hops():
+    m = FatTreeTraffic(n_hosts=1024, radix=32)
+    assert 1.5 < m.fabric_savings() < 6.0
+
+
+def test_fig2_levels():
+    assert FatTreeTraffic(16, 32).levels == 1
+    assert FatTreeTraffic(188, 36).levels == 2
+    assert FatTreeTraffic(1024, 32).levels == 3
+
+
+def test_fig2_node_bytes():
+    m = FatTreeTraffic(n_hosts=8, radix=32)
+    n = KiB
+    assert m.p2p_node_bytes(n) == {"tx": 7 * n, "rx": 7 * n}
+    assert m.mcast_node_bytes(n) == {"tx": n, "rx": 7 * n}
+
+
+def test_fig2_mcast_fabric_counts_tree_links_once():
+    m = FatTreeTraffic(n_hosts=16, radix=32)  # single switch
+    assert m.mcast_fabric_bytes(1) == 16 * 16  # P senders x P host links
+
+
+def test_fig2_invalid_params():
+    with pytest.raises(ValueError):
+        FatTreeTraffic(1, 32)
+
+
+# ------------------------------------------------------------------- Fig 3
+
+
+def test_fig3_table_values():
+    n, p = 1024, 16
+    table = node_boundary_table(n, p)
+    assert table[("reduce_scatter", "inc")].send == n * 15
+    assert table[("reduce_scatter", "inc")].recv == n
+    assert table[("allgather", "mcast")].send == n
+    assert table[("allgather", "mcast")].recv == n * 15
+    assert table[("allgather", "ring")].send == n * 15
+    assert table[("reduce_scatter", "ring")].total == 2 * n * 15
+
+
+def test_fig3_complementary_bottlenecks():
+    """Insight 2: INC RS + Mcast AG never stress the same NIC direction."""
+    table = node_boundary_table(1, 64)
+    inc = table[("reduce_scatter", "inc")]
+    mc = table[("allgather", "mcast")]
+    assert inc.send > inc.recv
+    assert mc.recv > mc.send
+
+
+def test_fig3_validation():
+    with pytest.raises(ValueError):
+        node_boundary_table(1024, 1)
+
+
+# ------------------------------------------------------------------- Fig 7
+
+
+def test_fig7_bitmap_sizes():
+    assert bitmap_bytes(23) == MiB  # 2^23 bits = 1 MiB
+    assert bitmap_bytes(13) == KiB
+
+
+def test_fig7_dpa_llc_addresses_about_50gb():
+    """Paper §III-D: a bitmap fitting the 1.5 MB LLC addresses ≈ 50 GB."""
+    # Largest psn_bits whose bitmap fits in the LLC:
+    fitting = [b for b in range(10, 31) if bitmap_bytes(b) <= DEVICE_MEMORY["DPA LLC"]]
+    best = max(fitting)
+    addressable = max_receive_buffer(best, 4096)
+    assert 30 * GiB < addressable < 70 * GiB
+
+
+def test_fig7_buffer_grows_with_psn_bits():
+    rows = fig7_rows()
+    buffers = [r[2] for r in rows]
+    assert all(b2 == 2 * b1 for b1, b2 in zip(buffers, buffers[1:]))
+
+
+def test_fig7_chunk_scaling():
+    assert max_receive_buffer(20, 8192) == 2 * max_receive_buffer(20, 4096)
+
+
+# -------------------------------------------------------------- Appendix B
+
+
+def test_speedup_formula():
+    assert concurrent_speedup(2) == 1.0
+    assert concurrent_speedup(4) == 1.5
+    assert concurrent_speedup(1024) == pytest.approx(2.0, abs=0.01)
+
+
+def test_bandwidth_shares_sum_to_nic():
+    b = gbit_per_s(400)
+    ring = bandwidth_shares_ring(b)
+    assert ring["ag_send"] + ring["rs_send"] == pytest.approx(b)
+    opt = bandwidth_shares_optimal(b, 16)
+    assert opt["ag_send"] + opt["rs_send"] == pytest.approx(b)
+    assert opt["ag_recv"] + opt["rs_recv"] == pytest.approx(b)
+
+
+def test_speedup_equals_time_ratio():
+    """S must equal T_ring_pair / T_optimal_pair from first principles."""
+    n, p, b = MiB, 64, gbit_per_s(100)
+    t_ring_pair = n * (p - 1) / (b / 2)
+    t_opt_pair = n * (p - 1) / (b * (1 - 1 / p))
+    assert t_ring_pair / t_opt_pair == pytest.approx(concurrent_speedup(p))
+
+
+# -------------------------------------------------------- alpha-beta models
+
+
+def test_time_models_basic_shapes():
+    b = gbit_per_s(56)
+    n = MiB
+    # Multicast bcast is ~constant in P; knomial grows with log P.
+    assert time_mcast_bcast(n, 8, b) == pytest.approx(time_mcast_bcast(n, 512, b))
+    assert time_knomial_bcast(n, 512, 4, b) > time_knomial_bcast(n, 8, 4, b)
+    # Ring AG and mcast AG are both receive-bound: comparable at large N.
+    ring = time_ring_allgather(n, 32, b)
+    mc = time_mcast_allgather(n, 32, b)
+    assert mc / ring == pytest.approx(32 / 31, rel=0.01)
+    # Pipelined tree pays the 2x interior-node send tax.
+    tree = time_pipelined_tree_bcast(n, 32, b, segment=64 * KiB)
+    assert tree > 2 * time_mcast_bcast(n, 32, b)
+
+
+def test_time_models_degenerate_p():
+    assert time_ring_allgather(MiB, 1, 1e9) == 0.0
+    assert time_knomial_bcast(MiB, 1, 2, 1e9) == 0.0
+    assert time_pipelined_tree_bcast(MiB, 1, 1e9, KiB) == 0.0

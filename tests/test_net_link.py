@@ -1,0 +1,191 @@
+"""Unit tests for channels: serialization, latency, drops, reordering."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Channel, FaultSpec
+from repro.net.packet import Packet, PacketKind, mcast_dst
+from repro.sim import RandomStreams, Simulator
+
+
+class SinkNode:
+    """Collects (time, packet) deliveries."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive(self, packet, channel):
+        self.received.append((self.sim.now, packet))
+
+
+def make_channel(sim, sink, bandwidth=1e9, latency=1e-6, fault=None, seed=0):
+    rng = RandomStreams(seed=seed).stream("test-chan")
+    return Channel(sim, "a", "b", sink, bandwidth, latency, fault=fault, rng=rng)
+
+
+def pkt(n=1000, kind=PacketKind.UD_SEND, header=64, **kw):
+    return Packet(src=0, dst=1, kind=kind, payload_len=n, header_bytes=header, **kw)
+
+
+def test_serialization_plus_latency():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=5e-6)
+    ch.transmit(pkt(n=1000, header=0))  # 1000 B at 1 GB/s = 1 µs
+    sim.run()
+    assert len(sink.received) == 1
+    assert sink.received[0][0] == pytest.approx(1e-6 + 5e-6)
+
+
+def test_back_to_back_packets_queue_on_wire():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0)
+    ch.transmit(pkt(n=1000, header=0))
+    ch.transmit(pkt(n=1000, header=0))
+    sim.run()
+    times = [t for t, _ in sink.received]
+    assert times == [pytest.approx(1e-6), pytest.approx(2e-6)]
+
+
+def test_header_bytes_count_on_wire():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0)
+    ch.transmit(pkt(n=1000, header=64))
+    sim.run()
+    assert ch.bytes_sent == 1064
+    assert ch.payload_bytes_sent == 1000
+
+
+def test_transmit_returns_finish_time():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=1.0)
+    finish = ch.transmit(pkt(n=1000, header=0))
+    assert finish == pytest.approx(1e-6)  # latency excluded
+
+
+def test_counters_accumulate():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ch = make_channel(sim, sink)
+    for _ in range(5):
+        ch.transmit(pkt(n=100))
+    sim.run()
+    assert ch.packets_sent == 5
+    assert ch.bytes_sent == 5 * (100 + 64)
+    ch.reset_counters()
+    assert ch.packets_sent == 0
+
+
+def test_deterministic_seq_drop():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(drop_packet_seqs={1, 3})
+    ch = make_channel(sim, sink, fault=fault)
+    for _ in range(5):
+        ch.transmit(pkt())
+    sim.run()
+    assert len(sink.received) == 3
+    assert ch.packets_dropped == 2
+
+
+def test_drop_predicate():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(drop_predicate=lambda p, seq: p.imm == 7)
+    ch = make_channel(sim, sink, fault=fault)
+    ch.transmit(pkt(imm=7))
+    ch.transmit(pkt(imm=8))
+    sim.run()
+    assert [p.imm for _, p in sink.received] == [8]
+
+
+def test_bernoulli_drops_reproducible():
+    def run(seed):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        ch = make_channel(sim, sink, fault=FaultSpec(drop_prob=0.3), seed=seed)
+        for _ in range(100):
+            ch.transmit(pkt())
+        sim.run()
+        return len(sink.received)
+
+    assert run(1) == run(1)
+    assert 40 <= run(1) <= 95  # roughly 70% delivery
+
+
+def test_reliable_kinds_immune_to_drops():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(drop_prob=1.0)
+    ch = make_channel(sim, sink, fault=fault)
+    ch.transmit(pkt(kind=PacketKind.RC_SEND))
+    ch.transmit(pkt(kind=PacketKind.RC_WRITE))
+    ch.transmit(pkt(kind=PacketKind.UD_SEND))  # this one drops
+    sim.run()
+    kinds = {p.kind for _, p in sink.received}
+    assert kinds == {PacketKind.RC_SEND, PacketKind.RC_WRITE}
+
+
+def test_unprotected_fault_hits_reliable_kinds():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(drop_prob=1.0, protect_reliable=False)
+    ch = make_channel(sim, sink, fault=fault)
+    ch.transmit(pkt(kind=PacketKind.RC_SEND))
+    sim.run()
+    assert sink.received == []
+
+
+def test_dropped_packet_still_occupies_wire():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(drop_packet_seqs={0})
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0, fault=fault)
+    ch.transmit(pkt(n=1000, header=0))  # dropped, but occupies 1 µs
+    ch.transmit(pkt(n=1000, header=0))
+    sim.run()
+    assert sink.received[0][0] == pytest.approx(2e-6)
+
+
+def test_reorder_jitter_causes_out_of_order():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(reorder_jitter=50e-6)
+    ch = make_channel(sim, sink, bandwidth=1e12, latency=0.0, fault=fault, seed=3)
+    for i in range(50):
+        ch.transmit(pkt(imm=i))
+    sim.run()
+    order = [p.imm for _, p in sink.received]
+    assert sorted(order) == list(range(50))
+    assert order != list(range(50))  # actually reordered
+
+
+def test_multicast_flag_encoding():
+    p = Packet(src=0, dst=mcast_dst(5), kind=PacketKind.UD_SEND, payload_len=10)
+    assert p.is_multicast and p.mcast_gid == 5
+    q = pkt()
+    assert not q.is_multicast
+    with pytest.raises(ValueError):
+        _ = q.mcast_gid
+
+
+def test_clone_for_fanout_shares_payload():
+    buf = np.arange(10, dtype=np.uint8)
+    p = Packet(src=0, dst=mcast_dst(0), kind=PacketKind.UD_SEND, payload=buf)
+    c = p.clone_for_fanout()
+    assert c.payload is p.payload
+    assert c.pkt_id != p.pkt_id
+    assert c.payload_len == 10
+
+
+def test_invalid_channel_params():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    with pytest.raises(ValueError):
+        Channel(sim, "a", "b", sink, bandwidth=0, latency=0)
+    with pytest.raises(ValueError):
+        Channel(sim, "a", "b", sink, bandwidth=1e9, latency=-1)

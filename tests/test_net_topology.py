@@ -1,0 +1,161 @@
+"""Unit tests for topology construction and routing."""
+
+import pytest
+
+from repro.net.topology import Topology, TopologySpec, host_id, host_name, is_host
+
+
+def test_host_name_roundtrip():
+    assert host_name(17) == "h17"
+    assert host_id("h17") == 17
+    assert is_host("h0") and not is_host("leaf000")
+
+
+def test_host_id_rejects_switch():
+    with pytest.raises(ValueError):
+        host_id("spine000")
+
+
+def test_back_to_back():
+    topo = Topology.back_to_back()
+    assert topo.n_hosts == 2
+    assert topo.switch_names == []
+    assert topo.attach_point(0) == "h1"
+    assert topo.path(0, 1) == ["h0", "h1"]
+
+
+def test_star_connectivity():
+    topo = Topology.star(4)
+    assert topo.switch_names == ["sw000"]
+    for i in range(4):
+        assert topo.attach_point(i) == "sw000"
+    assert topo.path(1, 3) == ["h1", "sw000", "h3"]
+
+
+def test_leaf_spine_structure():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    assert len(topo.switch_names) == 4
+    assert topo.core_switches == ["spine000", "spine001"]
+    # Hosts fill leaves sequentially: h0..h3 on leaf000, h4..h7 on leaf001.
+    assert topo.attach_point(0) == "leaf000"
+    assert topo.attach_point(7) == "leaf001"
+
+
+def test_leaf_spine_same_leaf_path_has_no_spine():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    path = topo.path(0, 1)
+    assert path == ["h0", "leaf000", "h1"]
+
+
+def test_leaf_spine_cross_leaf_path_uses_one_spine():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    path = topo.path(0, 5)
+    assert len(path) == 5  # h0, leaf, spine, leaf, h5
+    assert path[2].startswith("spine")
+
+
+def test_routing_is_destination_deterministic():
+    topo = Topology.leaf_spine(16, n_leaf=4, n_spine=4)
+    a = topo.path(0, 13)
+    b = topo.path(0, 13)
+    assert a == b
+
+
+def test_ecmp_spreads_across_spines():
+    topo = Topology.leaf_spine(16, n_leaf=2, n_spine=4, hosts_per_leaf=8)
+    spines = {topo.path(0, dst)[2] for dst in range(8, 16)}
+    assert len(spines) > 1  # different dsts take different spines
+
+
+def test_unicast_tables_complete():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    tables = topo.unicast_tables()
+    for sw in topo.switch_names:
+        for dst in range(8):
+            assert dst in tables[sw]
+
+
+def test_path_endpoint_validation():
+    topo = Topology.star(3)
+    with pytest.raises(ValueError):
+        topo.next_hop("h0", 0)
+
+
+def test_mcast_tree_covers_all_members():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    tree = topo.mcast_tree(0, list(range(8)))
+    for h in range(8):
+        assert host_name(h) in tree
+        # Hosts are tree leaves: exactly one tree neighbor.
+        assert len(tree[host_name(h)]) == 1
+
+
+def test_mcast_tree_is_acyclic():
+    topo = Topology.leaf_spine(12, n_leaf=3, n_spine=3)
+    tree = topo.mcast_tree(1, list(range(12)))
+    n_nodes = len(tree)
+    n_edges = sum(len(v) for v in tree.values()) // 2
+    assert n_edges == n_nodes - 1  # tree invariant
+
+
+def test_mcast_tree_root_varies_with_gid():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    assert topo.mcast_root(0) != topo.mcast_root(1)
+
+
+def test_mcast_tree_subset_members():
+    topo = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    tree = topo.mcast_tree(0, [0, 5])
+    assert host_name(0) in tree and host_name(5) in tree
+    assert host_name(1) not in tree
+
+
+def test_mcast_tree_back_to_back():
+    topo = Topology.back_to_back()
+    tree = topo.mcast_tree(0, [0, 1])
+    assert tree == {"h0": {"h1"}, "h1": {"h0"}}
+
+
+def test_mcast_tree_needs_two_members():
+    topo = Topology.star(4)
+    with pytest.raises(ValueError):
+        topo.mcast_tree(0, [2])
+
+
+def test_testbed_188_shape():
+    topo = Topology.testbed_188()
+    assert topo.n_hosts == 188
+    assert len(topo.switch_names) == 18
+    leaves = [s for s in topo.switch_names if s.startswith("leaf")]
+    spines = [s for s in topo.switch_names if s.startswith("spine")]
+    assert len(leaves) == 12 and len(spines) == 6
+
+
+def test_duplicate_edges_collapse():
+    topo = Topology(2, [("h0", "h1"), ("h1", "h0")], core_switches=[])
+    assert len(topo.edges) == 1
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError):
+        Topology(1, [("h0", "h0")])
+
+
+def test_disconnected_host_rejected():
+    with pytest.raises(ValueError):
+        Topology(2, [("h0", "sw000")])
+
+
+def test_multi_homed_host_rejected():
+    with pytest.raises(ValueError):
+        Topology(2, [("h0", "sw000"), ("h0", "sw001"), ("h1", "sw000"), ("h1", "sw001")])
+
+
+def test_topology_spec_builders():
+    assert TopologySpec("star", 4).build().kind == "star"
+    assert TopologySpec("back_to_back").build().n_hosts == 2
+    spec = TopologySpec("leaf_spine", 8, {"n_leaf": 2, "n_spine": 2})
+    assert spec.build().kind == "leaf_spine"
+    assert TopologySpec("testbed_188").build().n_hosts == 188
+    with pytest.raises(ValueError):
+        TopologySpec("torus", 8).build()

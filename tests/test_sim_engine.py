@@ -1,0 +1,342 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_call_later_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_later(2.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 2.0
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.call_at(3.5, fired.append, 1)
+    sim.call_at(1.5, fired.append, 2)
+    sim.run()
+    assert fired == [2, 1]
+
+
+def test_call_at_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(SimulationError):
+        sim.schedule(ev, delay=-1.0)
+
+
+def test_same_instant_fifo_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.call_later(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_horizon():
+    sim = Simulator()
+    fired = []
+    sim.call_later(1.0, fired.append, "a")
+    sim.call_later(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_step_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.call_later(4.0, lambda: None)
+    assert sim.peek() == 4.0
+
+
+def test_simple_process_timeouts():
+    sim = Simulator()
+    log = []
+
+    def actor(name, period, reps):
+        for _ in range(reps):
+            yield Timeout(sim, period)
+            log.append((sim.now, name))
+
+    sim.spawn(actor("a", 1.0, 2))
+    sim.spawn(actor("b", 1.5, 2))
+    sim.run()
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b")]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def compute():
+        yield sim.timeout(1.0)
+        return 42
+
+    result = sim.run_process(compute())
+    assert result == 42
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "done"
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield proc
+        return (sim.now, value)
+
+    assert sim.run_process(parent()) == (2.0, "done")
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise ValueError("kapow")
+
+    with pytest.raises(ValueError, match="kapow"):
+        sim.run_process(boom())
+
+
+def test_event_value_passing():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        value = yield ev
+        return value
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("payload")
+
+    sim.spawn(trigger())
+    assert sim.run_process(waiter()) == "payload"
+
+
+def test_event_failure_thrown_into_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    sim.call_later(1.0, lambda: ev.fail(RuntimeError("bad")))
+    assert sim.run_process(waiter()) == "caught bad"
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_yield_already_fired_event_resumes():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+
+    def late_waiter():
+        yield sim.timeout(5.0)
+        value = yield ev  # fired long ago
+        return (sim.now, value)
+
+    assert sim.run_process(late_waiter()) == (5.0, "early")
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+
+    def racer():
+        winner = yield AnyOf(sim, [sim.timeout(3.0), Timeout(sim, 1.0, value="fast")])
+        return winner.value
+
+    assert sim.run_process(racer()) == "fast"
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def gather():
+        values = yield AllOf(
+            sim, [Timeout(sim, 2.0, value="slow"), Timeout(sim, 1.0, value="fast")]
+        )
+        return (sim.now, values)
+
+    assert sim.run_process(gather()) == (2.0, ["slow", "fast"])
+
+
+def test_all_of_empty_resolves_immediately():
+    sim = Simulator()
+
+    def gather():
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(gather()) == []
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def racer():
+        try:
+            yield AnyOf(sim, [ev, sim.timeout(10.0)])
+        except KeyError:
+            return "failed"
+
+    sim.call_later(1.0, lambda: ev.fail(KeyError("k")))
+    assert sim.run_process(racer()) == "failed"
+
+
+def test_interrupt():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt(cause="wake up")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert proc.value == ("interrupted", 2.0, "wake up")
+
+
+def test_stale_wakeup_after_interrupt_is_discarded():
+    sim = Simulator()
+    hits = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(5.0)
+        hits.append(sim.now)
+
+    proc = sim.spawn(sleeper())
+    sim.call_later(0.5, proc.interrupt)
+    sim.run()
+    # Interrupted at 0.5, then slept 5.0 more; the original 1.0 timeout must
+    # not have woken the process a second time.
+    assert hits == [5.5]
+
+
+def test_kill_process():
+    sim = Simulator()
+    progress = []
+
+    def worker():
+        while True:
+            yield sim.timeout(1.0)
+            progress.append(sim.now)
+
+    proc = sim.spawn(worker())
+    sim.call_later(3.5, proc.kill)
+    sim.run()
+    assert progress == [1.0, 2.0, 3.0]
+    assert proc.triggered and proc.ok
+
+
+def test_yield_non_event_is_a_typeerror():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(TypeError, match="may only yield Event"):
+        sim.run_process(bad())
+
+
+def test_spawn_order_is_execution_order():
+    sim = Simulator()
+    order = []
+
+    def actor(i):
+        order.append(i)
+        yield sim.timeout(0.0)
+
+    for i in range(5):
+        sim.spawn(actor(i))
+    sim.run()
+    assert order[:5] == [0, 1, 2, 3, 4]
+
+
+def test_run_process_unfinished_raises():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+
+    def stuck():
+        yield ev
+
+    with pytest.raises(SimulationError, match="before process"):
+        sim.run_process(stuck())
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

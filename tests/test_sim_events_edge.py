@@ -1,0 +1,161 @@
+"""Edge-case tests for the event layer: failures, defusing, subscriptions."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.sim.process import ProcessKilled
+
+
+def test_unhandled_event_failure_crashes_the_run():
+    """A failure nobody waits for must be loud, not silent."""
+    sim = Simulator()
+    ev = Event(sim)
+    ev.fail(RuntimeError("lost failure"))
+    with pytest.raises(RuntimeError, match="lost failure"):
+        sim.run()
+
+
+def test_defused_failure_is_quiet():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.fail(RuntimeError("handled elsewhere")).defuse()
+    sim.run()  # no raise
+    assert ev.triggered and not ev.ok
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_subscribe_after_fire_bounces_asynchronously():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed("v")
+    sim.run()
+    seen = []
+    ev.subscribe(lambda e: seen.append(e.value))
+    assert seen == []  # not synchronous
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_succeed_with_delay():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed("later", delay=5.0)
+
+    def waiter():
+        value = yield ev
+        return (sim.now, value)
+
+    assert sim.run_process(waiter()) == (5.0, "later")
+
+
+def test_anyof_value_is_the_winning_event():
+    sim = Simulator()
+    fast = Timeout(sim, 1.0, value="payload")
+
+    def racer():
+        winner = yield AnyOf(sim, [Timeout(sim, 9.0), fast])
+        return winner
+
+    assert sim.run_process(racer()) is fast
+
+
+def test_anyof_with_pre_fired_event():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed("early")
+    sim.run()
+
+    def racer():
+        winner = yield AnyOf(sim, [ev, Timeout(sim, 100.0)])
+        return winner.value, sim.now
+
+    value, resumed_at = sim.run_process(racer())
+    assert value == "early"
+    assert resumed_at < 100.0  # did not wait for the losing timeout
+
+
+def test_allof_failure_preempts_remaining():
+    sim = Simulator()
+    bad = Event(sim)
+    sim.call_later(1.0, lambda: bad.fail(KeyError("boom")))
+
+    def gather():
+        try:
+            yield AllOf(sim, [Timeout(sim, 50.0), bad])
+        except KeyError:
+            return sim.now
+
+    assert sim.run_process(gather()) == 1.0  # did not wait for the 50 s
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def proc():
+        inner = AnyOf(sim, [Timeout(sim, 2.0, value="a"), Timeout(sim, 3.0)])
+        values = yield AllOf(sim, [inner, Timeout(sim, 1.0, value="b")])
+        return (sim.now, values[1])
+
+    t, v = sim.run_process(proc())
+    assert t == 2.0 and v == "b"
+
+
+def test_process_kill_mid_generator_runs_finally():
+    sim = Simulator()
+    cleaned = []
+
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            cleaned.append(sim.now)
+
+    proc = sim.spawn(worker())
+    sim.call_later(2.0, proc.kill)
+    sim.run()
+    assert cleaned == [2.0]
+    assert proc.ok
+
+
+def test_process_catching_kill_still_terminates():
+    sim = Simulator()
+
+    def stubborn():
+        while True:
+            try:
+                yield sim.timeout(1.0)
+            except ProcessKilled:
+                pass  # swallow — the engine must still retire us
+
+    proc = sim.spawn(stubborn())
+    sim.call_later(0.5, proc.kill)
+    sim.run()
+    assert proc.triggered
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("too late")  # must not raise
+    sim.run()
+
+
+def test_event_repr_states():
+    sim = Simulator()
+    ev = Event(sim)
+    assert "pending" in repr(ev)
+    ev.succeed()
+    assert "triggered" in repr(ev)
+    sim.run()
+    assert "processed" in repr(ev)

@@ -6,20 +6,35 @@ broadcasts through it.  The multicast fast path delivers what survives;
 the cutoff timer fires; missing chunks are fetched from ring neighbors
 with selective RDMA READs — and the data always arrives intact.
 
+Time-varying schedules (Gilbert–Elliott burst loss, link flaps, degraded
+bandwidth, slow receivers) and the adaptive cutoff estimator are described
+in DESIGN.md section "Reliability & fault model".
+
 Run:  python examples/fault_injection.py
 """
 
 import numpy as np
 
-from repro import Communicator, Fabric, FaultSpec, RandomStreams, Simulator, Topology
+from repro import (
+    Communicator,
+    Fabric,
+    FaultSpec,
+    GilbertElliott,
+    RandomStreams,
+    Simulator,
+    StragglerSpec,
+    Topology,
+)
 from repro.units import KiB, gbit_per_s
 
 
-def run_case(name, fault_factory, seed=7):
+def run_case(name, fault_factory, seed=7, straggler=None):
     sim = Simulator()
     fabric = Fabric(sim, Topology.leaf_spine(8, 2, 2),
                     link_bandwidth=gbit_per_s(56), streams=RandomStreams(seed))
     fabric.set_fault_all(fault_factory)
+    if straggler is not None:
+        fabric.set_straggler(*straggler)
     comm = Communicator(fabric)
     data = np.random.default_rng(seed).integers(0, 256, 256 * KiB, dtype=np.uint8)
     result = comm.broadcast(0, data)
@@ -53,6 +68,20 @@ def main() -> None:
         return None
 
     run_case("same chunks lost at adjacent ranks", adjacent_drops)
+
+    # --- time-varying chaos (see DESIGN.md "Reliability & fault model") ---
+    ge = GilbertElliott(p_good_bad=0.0105, p_bad_good=0.2, drop_bad=1.0)
+    run_case("Gilbert-Elliott bursts (~5% stationary loss)",
+             lambda s, d: FaultSpec(gilbert_elliott=ge))
+    run_case("link flap: h5 downlink dark for 15-45 µs",
+             lambda s, d: FaultSpec(flap_windows=[(15e-6, 45e-6)])
+             if d == "h5" else None)
+    run_case("degraded fabric: 25% bandwidth for 60 µs",
+             lambda s, d: FaultSpec(bandwidth_windows=[(0.0, 60e-6, 0.25)]))
+    run_case("slow receiver: h3 pays +4 µs per CQE poll",
+             lambda s, d: None,
+             straggler=(3, StragglerSpec(windows=[(0.0, 60e-6)],
+                                         extra_poll_delay=4e-6)))
     print("\nEvery case delivered bit-identical data: the fast path is "
           "lossless most of the\ntime, and the ring fetch layer repairs "
           "the rest without incasting the root.")

@@ -35,7 +35,9 @@ from repro.core.communicator import (
     RankStats,
 )
 from repro.core.costmodel import HostCostModel
+from repro.core.reliability import CutoffEstimator, ReliabilityError
 from repro.net.fabric import Fabric
+from repro.net.faults import GilbertElliott, StragglerSpec, Window
 from repro.net.link import FaultSpec
 from repro.net.topology import Topology, TopologySpec
 from repro.sim.engine import Simulator
@@ -47,15 +49,20 @@ __all__ = [
     "CollectiveConfig",
     "CollectiveResult",
     "Communicator",
+    "CutoffEstimator",
     "Fabric",
     "FaultSpec",
+    "GilbertElliott",
     "HostCostModel",
     "OpHandle",
     "PhaseBreakdown",
     "RandomStreams",
     "RankStats",
+    "ReliabilityError",
     "Simulator",
+    "StragglerSpec",
     "Topology",
     "TopologySpec",
+    "Window",
     "__version__",
 ]

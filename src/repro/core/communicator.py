@@ -72,6 +72,30 @@ class CollectiveConfig:
     cutoff_alpha: float = 200e-6
     #: re-arm slack between recovery rounds
     recovery_alpha: float = 200e-6
+    #: adapt the cutoff slack from observed delivery (TCP-RTO-style EWMA);
+    #: the first op always uses the static ``cutoff_alpha``
+    adaptive_cutoff: bool = True
+    #: clamp range for the adaptive slack
+    cutoff_alpha_min: float = 20e-6
+    cutoff_alpha_max: float = 2e-3
+    #: EWMA gains and deviation weight (RFC 6298's α/β/K)
+    cutoff_gain: float = 0.125
+    cutoff_var_gain: float = 0.25
+    cutoff_var_weight: float = 4.0
+    #: exponential backoff of the re-arm delay across recovery rounds
+    recovery_backoff: float = 2.0
+    recovery_alpha_max: float = 2e-3
+    #: deterministic jitter on recovery re-arms, as a fraction of the delay
+    recovery_jitter: float = 0.25
+    #: how long a requester waits for a neighbor's FETCH_ACK before
+    #: treating it as unresponsive and escalating to the next neighbor
+    fetch_ack_timeout: float = 500e-6
+    #: fetch rounds with zero recovered chunks tolerated on one neighbor
+    #: before escalating to the next ring neighbor
+    fetch_stall_rounds: int = 3
+    #: total virtual time an op may spend in recovery before raising a
+    #: :class:`~repro.core.reliability.ReliabilityError` instead of hanging
+    recovery_deadline: float = 0.25
     #: software datapath cost model
     cost: HostCostModel = field(default_factory=HostCostModel)
 
@@ -90,6 +114,20 @@ class CollectiveConfig:
             raise ValueError("recv_workers must be >= 1")
         if self.staging_slots < 1:
             raise ValueError("staging_slots must be >= 1")
+        if self.cutoff_alpha < 0 or self.recovery_alpha < 0:
+            raise ValueError("cutoff_alpha and recovery_alpha must be >= 0")
+        if not 0 < self.cutoff_alpha_min <= self.cutoff_alpha_max:
+            raise ValueError("need 0 < cutoff_alpha_min <= cutoff_alpha_max")
+        if self.recovery_backoff < 1.0:
+            raise ValueError("recovery_backoff must be >= 1")
+        if self.recovery_jitter < 0:
+            raise ValueError("recovery_jitter must be >= 0")
+        if self.fetch_ack_timeout <= 0:
+            raise ValueError("fetch_ack_timeout must be > 0")
+        if self.fetch_stall_rounds < 1:
+            raise ValueError("fetch_stall_rounds must be >= 1")
+        if self.recovery_deadline <= 0:
+            raise ValueError("recovery_deadline must be > 0")
 
 
 @dataclass
@@ -112,6 +150,10 @@ class RankStats:
     phases: Dict[str, float]
     breakdown: PhaseBreakdown
     counters: Dict[str, int]
+    #: fetch rounds spent per recovery invocation on this rank
+    retry_histogram: List[int] = field(default_factory=list)
+    #: (virtual time, timeout armed, reason) — cutoff/recovery decisions
+    timer_trace: List[tuple] = field(default_factory=list)
 
 
 @dataclass
@@ -162,6 +204,25 @@ class CollectiveResult:
     def counter_total(self, name: str) -> int:
         return sum(r.counters.get(name, 0) for r in self.ranks)
 
+    def reliability_summary(self) -> Dict[str, object]:
+        """Aggregate slow-path telemetry across ranks: recovery/round
+        counters, escalations, and the merged per-rank retry histogram."""
+        histogram: Dict[int, int] = {}
+        for r in self.ranks:
+            for invocation, rounds in enumerate(r.retry_histogram):
+                histogram[invocation] = histogram.get(invocation, 0) + rounds
+        return {
+            "recoveries": self.counter_total("recoveries"),
+            "recovered_chunks": self.counter_total("recovered_chunks"),
+            "fetch_rounds": self.counter_total("fetch_rounds"),
+            "fetch_ack_timeouts": self.counter_total("fetch_ack_timeouts"),
+            "neighbor_escalations": self.counter_total("neighbor_escalations"),
+            "retry_histogram": histogram,
+            "max_timer_rearms": max(
+                (len(r.timer_trace) for r in self.ranks), default=0
+            ),
+        }
+
     def verify_allgather(self, send_data: Sequence[np.ndarray]) -> bool:
         expected = np.concatenate([np.ascontiguousarray(d).view(np.uint8).ravel()
                                    for d in send_data])
@@ -202,7 +263,13 @@ class OpHandle:
                 handshake=ph["final"] - ph["data"],
                 total=ph["final"] - ph["start"],
             )
-            ranks.append(RankStats(op.rank, dict(ph), breakdown, dict(op.stats)))
+            ranks.append(
+                RankStats(
+                    op.rank, dict(ph), breakdown, dict(op.stats),
+                    retry_histogram=list(op.retry_histogram),
+                    timer_trace=list(op.timer_trace),
+                )
+            )
         t_begin = min(op.phases["start"] for op in self.ops)
         t_end = max(op.phases["final"] for op in self.ops)
         return CollectiveResult(

@@ -20,7 +20,6 @@ Design notes
 
 from __future__ import annotations
 
-import collections
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -220,9 +219,19 @@ class ControlPlane:
 
         ``tag`` must be unique per logical barrier instance (e.g. the
         collective id); rounds are disambiguated in the key's low bits.
+
+        *ranks* is required: every participant must pass the **same**
+        ordered list.  Deriving it from the set of already-created control
+        QPs (as an earlier revision did) is wrong in general — lazy QP
+        creation means different ranks can observe different peer sets,
+        deadlocking the dissemination pattern.
         """
         if ranks is None:
-            ranks = sorted(self.qps)  # not generally correct; pass explicitly
+            raise ValueError(
+                "ControlPlane.barrier requires an explicit, identical `ranks` "
+                "list on every participant; deriving it from the lazily "
+                "created control QPs is unreliable"
+            )
         me = ranks.index(self.rank)
         p = len(ranks)
         k = 1

@@ -11,7 +11,7 @@ own shard of the global receive buffer and whose bitmap spans all shards
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.bitmap import Bitmap
 from repro.core.chunking import ChunkPlan
@@ -58,6 +58,10 @@ class OpState:
     op_done: Event = field(init=False)
     phases: Dict[str, float] = field(init=False)
     stats: Dict[str, int] = field(init=False)
+    #: fetch rounds spent per recovery invocation (index = invocation)
+    retry_histogram: List[int] = field(init=False)
+    #: cutoff/recovery timer decisions: (virtual time, timeout armed, why)
+    timer_trace: List[Tuple[float, float, str]] = field(init=False)
 
     def __post_init__(self) -> None:
         n = self.plan.n_chunks
@@ -74,7 +78,12 @@ class OpState:
             "recoveries": 0,
             "stray_cqes": 0,
             "chunks_received": 0,
+            "fetch_rounds": 0,
+            "fetch_ack_timeouts": 0,
+            "neighbor_escalations": 0,
         }
+        self.retry_histogram = []
+        self.timer_trace = []
         # This rank's own chunks are present by construction.
         for psn in range(self.send_lo, self.send_hi):
             self.bitmap.set(psn)
@@ -110,6 +119,14 @@ class OpState:
 
     def mark_phase(self, name: str) -> None:
         self.phases[name] = self.sim.now
+
+    def record_timer(self, timeout: float, reason: str) -> None:
+        """Log one cutoff/recovery timer decision for post-mortem telemetry."""
+        self.timer_trace.append((self.sim.now, timeout, reason))
+
+    @property
+    def missing_chunks(self) -> int:
+        return self.n_chunks - self.bitmap.count
 
     def maybe_complete(self) -> None:
         """Trigger ``data_done`` once every chunk is present *and* every

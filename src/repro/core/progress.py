@@ -35,6 +35,7 @@ from repro.core.control import (
 )
 from repro.core.costmodel import HostCostModel
 from repro.core.ops import OpState
+from repro.core.reliability import CutoffEstimator, ReliabilityError, backoff_delay
 from repro.core.staging import StagingRing
 from repro.net.dma import DmaEngine
 from repro.net.nic import RecvWR, SendWR, Transport
@@ -114,6 +115,18 @@ class RankEngine:
         # Serializes recoveries so read completions on the shared control
         # QP's send CQ are attributable to exactly one controller.
         self._recovery_lock = Resource(self.sim, 1)
+        #: adaptive cutoff slack, persistent across this rank's collectives
+        self.cutoff = CutoffEstimator(
+            alpha0=cfg.cutoff_alpha,
+            alpha_min=cfg.cutoff_alpha_min,
+            alpha_max=cfg.cutoff_alpha_max,
+            gain=cfg.cutoff_gain,
+            var_gain=cfg.cutoff_var_gain,
+            var_weight=cfg.cutoff_var_weight,
+        )
+        #: named stream — recovery jitter is reproducible and per-rank
+        self._recovery_rng = self.fabric.streams.stream(f"recovery:r{rank}")
+        self._fetch_nonce = 0
 
     # ------------------------------------------------------------- op table
 
@@ -140,7 +153,10 @@ class RankEngine:
                 yield AnyOf(self.sim, [qp.recv_cq.wait() for qp in qps])
             for sg, qp in zip(subgroups, qps):
                 for cqe in qp.recv_cq.poll():
-                    yield Timeout(self.sim, cost.cqe_poll + cost.cqe_process)
+                    # Straggler injection: a slow receiver pays extra per
+                    # poll, so its staging ring backs up into RNR drops.
+                    stall = self.fabric.straggler_delay(self.nic.host, self.sim.now)
+                    yield Timeout(self.sim, cost.cqe_poll + cost.cqe_process + stall)
                     psn, cid = self.imm.decode(cqe.imm or 0)
                     op = self.ops.get(cid)
                     if uc:
@@ -240,9 +256,9 @@ class RankEngine:
 
     # ------------------------------------------------------------- recovery
 
-    def run_recovery(self, op: OpState, participants: List[int]):
-        """Slow path (§III-C): selective zero-copy fetch of missing chunks
-        from the left neighbor in the reliable ring.
+    def run_recovery(self, op: OpState, participants: List[int], deadline_abs: float):
+        """Slow path (§III-C), hardened: selective zero-copy fetch of
+        missing chunks from ring neighbors.
 
         The fetch is **chunk-granular**: each round inspects which missing
         chunks the neighbor has *placed* (its own may still be recovering)
@@ -250,77 +266,183 @@ class RankEngine:
         around the ring as it recovers them itself — the paper's "worst
         case degenerates to ring Allgather".  A whole-buffer ACK handshake
         would deadlock when every rank of an Allgather lost something.
+
+        Hardening beyond the paper's description:
+
+        * the FETCH_ACK rendezvous is timeout-bounded — an unresponsive
+          neighbor costs ``fetch_ack_timeout``, not a hang;
+        * a neighbor that yields nothing for ``fetch_stall_rounds`` rounds
+          (unresponsive, or itself unrecovered) is **escalated past**: the
+          requester rotates to the next-farther left ring neighbor;
+        * re-polls back off exponentially with deterministic per-rank
+          jitter so stalled ranks neither thrash nor retry in lockstep;
+        * the whole recovery is bounded by *deadline_abs* — on expiry a
+          :class:`ReliabilityError` with diagnostic counters is raised
+          instead of hanging the simulation.
         """
         op.stats["recoveries"] += 1
         me = participants.index(self.rank)
-        left = participants[(me - 1) % len(participants)]
-        left_host = self.comm.host_of(left)
-        cfg = self.config
+        # Escalation order: the ring-left neighbor first, then progressively
+        # farther-left ranks (under the chain schedule those are the ranks
+        # most likely to already hold what we miss), wrapping the full ring.
+        order = [
+            participants[(me - d) % len(participants)]
+            for d in range(1, len(participants))
+        ]
+        rounds_used = 0
         yield self._recovery_lock.acquire()
         try:
-            # Rendezvous with the neighbor's fetch server.
-            self.ctrl.send(left, MSG_FETCH_REQ, op.coll_id)
-            yield self.ctrl.recv(MSG_FETCH_ACK, op.coll_id, left)
-            qp = self.comm.ensure_ctrl_pair(self.rank, left)
-            rtt = 2 * self.fabric.one_way_delay(self.nic.host, left_host)
+            attempt = 0
             while not op.data_done.triggered:
-                # Fetch the neighbor's bitmap (modeled as one small RDMA
-                # read: RTT + bitmap bytes on the wire).
-                bitmap_bytes = max(op.n_chunks // 8, 8)
-                yield Timeout(
-                    self.sim, rtt + bitmap_bytes / self.fabric.link_bandwidth
+                self._check_recovery_deadline(op, deadline_abs)
+                peer = order[attempt % len(order)]
+                if attempt > 0 and len(order) > 1:
+                    op.stats["neighbor_escalations"] += 1
+                _progressed, rounds = yield from self._fetch_attempt(
+                    op, peer, deadline_abs
                 )
-                left_op = self.comm.engines[left].ops.get(op.coll_id)
-                runs = []
-                if left_op is not None:
-                    # Intersect our missing runs with the neighbor's placed
-                    # chunks, coalescing into contiguous fetchable pieces.
-                    for start, count in op.bitmap.missing_runs():
-                        run = None
-                        for p in range(start, start + count):
-                            if left_op.placed.test(p):
-                                if run is None:
-                                    run = [p, 1]
-                                else:
-                                    run[1] += 1
-                            elif run is not None:
-                                runs.append(tuple(run))
-                                run = None
-                        if run is not None:
-                            runs.append(tuple(run))
-                if runs:
-                    expected = 0
-                    for start, count in runs:
-                        offset = start * op.plan.chunk_size
-                        length = min(count * op.plan.chunk_size,
-                                     op.plan.buffer_len - offset)
-                        qp.post_send(
-                            SendWR(
-                                wr_id=start, verb="read", mr_key=op.mr.key,
-                                offset=offset, length=length,
-                                remote_key=op.mr.key, remote_offset=offset,
-                            )
-                        )
-                        expected += 1
-                    while expected > 0:
-                        yield qp.send_cq.wait()
-                        expected -= len(qp.send_cq.poll())
-                    for start, count in runs:
-                        for psn in range(start, start + count):
-                            if op.bitmap.set(psn):
-                                op.stats["recovered_chunks"] += 1
-                            op.placed.set(psn)
-                    op.maybe_complete()
-                if op.data_done.triggered:
-                    break
-                # Nothing (more) available yet: let the multicast path and
-                # the neighbor's own recovery make progress, then retry
-                # (waking immediately if the fast path completes meanwhile).
-                yield AnyOf(
-                    self.sim, [op.data_done, Timeout(self.sim, cfg.recovery_alpha)]
-                )
+                rounds_used += rounds
+                attempt += 1
         finally:
             self._recovery_lock.release()
+            op.retry_histogram.append(rounds_used)
+
+    def _check_recovery_deadline(self, op: OpState, deadline_abs: float) -> None:
+        if self.sim.now < deadline_abs:
+            return
+        started = op.phases.get("recovery", deadline_abs - self.config.recovery_deadline)
+        raise ReliabilityError(
+            f"recovery deadline exceeded on rank {self.rank}",
+            rank=self.rank,
+            coll_id=op.coll_id,
+            kind=op.kind,
+            missing_chunks=op.missing_chunks,
+            n_chunks=op.n_chunks,
+            elapsed=self.sim.now - started,
+            deadline=self.config.recovery_deadline,
+            counters=op.stats,
+        )
+
+    def _fetch_attempt(self, op: OpState, peer: int, deadline_abs: float):
+        """One bounded fetch session against *peer*.
+
+        Returns ``(progressed, rounds)``; the caller escalates to the next
+        ring neighbor when a session ends without the op completing.
+        """
+        cfg = self.config
+        self._fetch_nonce = (self._fetch_nonce + 1) & 0xFF
+        # Rendezvous key carries a nonce so a late ACK from an abandoned
+        # attempt can never satisfy a newer one.
+        key = (op.coll_id << 8) | self._fetch_nonce
+        self.ctrl.send(peer, MSG_FETCH_REQ, key)
+        ack = self.ctrl.recv(MSG_FETCH_ACK, key, peer)
+        wait = min(cfg.fetch_ack_timeout, max(deadline_abs - self.sim.now, 1e-9))
+        yield AnyOf(self.sim, [ack, op.data_done, Timeout(self.sim, wait)])
+        if op.data_done.triggered:
+            return True, 0
+        if not ack.triggered:
+            op.stats["fetch_ack_timeouts"] += 1
+            self._check_recovery_deadline(op, deadline_abs)
+            return False, 0
+        qp = self.comm.ensure_ctrl_pair(self.rank, peer)
+        qp.send_cq.poll()  # discard stale completions of abandoned attempts
+        peer_host = self.comm.host_of(peer)
+        rtt = 2 * self.fabric.one_way_delay(self.nic.host, peer_host)
+        stalls = 0
+        rounds = 0
+        progressed = False
+        while not op.data_done.triggered:
+            self._check_recovery_deadline(op, deadline_abs)
+            rounds += 1
+            op.stats["fetch_rounds"] += 1
+            # Fetch the neighbor's bitmap (modeled as one small RDMA
+            # read: RTT + bitmap bytes on the wire).
+            bitmap_bytes = max(op.n_chunks // 8, 8)
+            yield Timeout(
+                self.sim, rtt + bitmap_bytes / self.fabric.link_bandwidth
+            )
+            peer_op = self.comm.engines[peer].ops.get(op.coll_id)
+            runs = self._fetchable_runs(op, peer_op)
+            if runs:
+                got = yield from self._fetch_runs(op, qp, runs, deadline_abs)
+                if got:
+                    progressed = True
+                    stalls = 0
+                op.maybe_complete()
+                if op.data_done.triggered:
+                    break
+            else:
+                stalls += 1
+                if stalls >= cfg.fetch_stall_rounds:
+                    return progressed, rounds
+            # Nothing (more) available yet: let the multicast path and the
+            # neighbor's own recovery make progress, then retry — backing
+            # off while stalled, waking immediately if the fast path
+            # completes meanwhile.
+            delay = backoff_delay(
+                stalls, cfg.recovery_alpha, cfg.recovery_backoff,
+                cfg.recovery_alpha_max, cfg.recovery_jitter, self._recovery_rng,
+            )
+            delay = min(delay, max(deadline_abs - self.sim.now, 1e-9))
+            op.record_timer(delay, "recovery-rearm")
+            yield AnyOf(self.sim, [op.data_done, Timeout(self.sim, delay)])
+        return True, rounds
+
+    @staticmethod
+    def _fetchable_runs(op: OpState, peer_op: Optional[OpState]):
+        """Intersect our missing runs with the neighbor's placed chunks,
+        coalescing into contiguous fetchable pieces."""
+        runs: List[tuple] = []
+        if peer_op is None:
+            return runs
+        for start, count in op.bitmap.missing_runs():
+            run = None
+            for p in range(start, start + count):
+                if peer_op.placed.test(p):
+                    if run is None:
+                        run = [p, 1]
+                    else:
+                        run[1] += 1
+                elif run is not None:
+                    runs.append(tuple(run))
+                    run = None
+            if run is not None:
+                runs.append(tuple(run))
+        return runs
+
+    def _fetch_runs(self, op: OpState, qp, runs, deadline_abs: float):
+        """RDMA-READ the given (start, count) chunk runs from the neighbor
+        behind *qp*; returns the number of newly recovered chunks."""
+        expected = 0
+        for start, count in runs:
+            offset = start * op.plan.chunk_size
+            length = min(count * op.plan.chunk_size,
+                         op.plan.buffer_len - offset)
+            qp.post_send(
+                SendWR(
+                    wr_id=start, verb="read", mr_key=op.mr.key,
+                    offset=offset, length=length,
+                    remote_key=op.mr.key, remote_offset=offset,
+                )
+            )
+            expected += 1
+        while expected > 0:
+            # READ responses ride RC, but a dead link (flap with
+            # protect_reliable=False) would strand us — bound the wait.
+            remaining = max(deadline_abs - self.sim.now, 1e-9)
+            yield AnyOf(self.sim, [qp.send_cq.wait(), Timeout(self.sim, remaining)])
+            done = len(qp.send_cq.poll())
+            if done == 0:
+                self._check_recovery_deadline(op, deadline_abs)
+            expected -= done
+        got = 0
+        for start, count in runs:
+            for psn in range(start, start + count):
+                if op.bitmap.set(psn):
+                    op.stats["recovered_chunks"] += 1
+                    got += 1
+                op.placed.set(psn)
+        return got
 
     def _fetch_server(self):
         """Answer FETCH_REQs: acknowledge the rendezvous immediately — the
@@ -362,9 +484,15 @@ class RankEngine:
             else float("inf")
         )
         recv_rate = min(self.fabric.link_bandwidth, sw_rate)
-        deadline = (
-            self.sim.now + op.plan.buffer_len / recv_rate + cfg.cutoff_alpha
-        )
+        expected = op.plan.buffer_len / recv_rate
+        # Adaptive slack (core/reliability.py): starts at the static α,
+        # tightens toward SRTT + K·RTTVAR as clean ops accumulate, backs
+        # off after spurious recoveries.  ``adaptive_cutoff=False``
+        # reproduces the paper's fixed-α timer exactly.
+        slack = self.cutoff.slack() if cfg.adaptive_cutoff else cfg.cutoff_alpha
+        armed_at = self.sim.now
+        deadline = armed_at + expected + slack
+        op.record_timer(expected + slack, "cutoff-arm")
         if op.is_sender and len(participants) > 1:
             if activation_pred is not None:
                 yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
@@ -372,13 +500,23 @@ class RankEngine:
             op.mark_phase("send_done")
             if activation_succ is not None:
                 self.ctrl.send(activation_succ, MSG_ACTIVATE, op.coll_id)
+        recovery_deadline_abs: Optional[float] = None
         while not op.data_done.triggered:
             remaining = max(deadline - self.sim.now, 1e-9)
             yield AnyOf(self.sim, [op.data_done, Timeout(self.sim, remaining)])
             if op.data_done.triggered:
                 break
-            yield from self.run_recovery(op, participants)
+            if recovery_deadline_abs is None:
+                op.mark_phase("recovery")
+                recovery_deadline_abs = self.sim.now + cfg.recovery_deadline
+            yield from self.run_recovery(op, participants, recovery_deadline_abs)
             deadline = self.sim.now + cfg.recovery_alpha
+        if cfg.adaptive_cutoff:
+            if op.stats["recoveries"]:
+                self.cutoff.on_recovery()
+            else:
+                # Karn's rule: only clean ops contribute slack samples.
+                self.cutoff.observe((self.sim.now - armed_at) - expected)
         op.mark_phase("data")
         if len(participants) > 1:
             me = participants.index(self.rank)

@@ -1,0 +1,159 @@
+"""Adaptive reliability machinery for the slow path (paper §III-C).
+
+The paper's cutoff timer is ``N/B + α`` with a *fixed* slack α.  A fixed
+slack is wrong in both directions: on a healthy fabric it waits far longer
+than delivery ever takes (adding the full α to every lossy collective's
+tail), and on a degraded fabric it can fire spuriously and thrash the
+recovery ring.  This module provides:
+
+* :class:`CutoffEstimator` — a TCP-RTO-style adaptive slack: an EWMA of
+  the observed slack (actual data-phase duration minus the ``N/B`` ideal)
+  plus a weighted mean-deviation term (RFC 6298's SRTT/RTTVAR), with
+  exponential backoff applied whenever an op needed recovery and decayed
+  again by clean ops.  Karn's rule applies: ops that entered recovery do
+  not contribute samples (their elapsed time measures the slow path, not
+  delivery).
+* :class:`ReliabilityError` — the typed, diagnostic-rich failure raised
+  when an op's recovery deadline expires; the alternative is a silent
+  simulation hang.
+* :func:`backoff_delay` — bounded exponential backoff with deterministic
+  jitter (the caller passes its named RNG stream) used between recovery
+  rounds so retries neither thrash nor synchronize across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ReliabilityError", "CutoffEstimator", "backoff_delay"]
+
+
+class ReliabilityError(RuntimeError):
+    """An operation's recovery deadline expired.
+
+    Carries the diagnostic counters a post-mortem needs; ``str()`` renders
+    them so a failing simulation explains itself instead of hanging.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int,
+        coll_id: int,
+        kind: str,
+        missing_chunks: int,
+        n_chunks: int,
+        elapsed: float,
+        deadline: float,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.coll_id = coll_id
+        self.kind = kind
+        self.missing_chunks = missing_chunks
+        self.n_chunks = n_chunks
+        self.elapsed = elapsed
+        self.deadline = deadline
+        self.counters = dict(counters or {})
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        diag = (
+            f"rank={self.rank} coll_id={self.coll_id} kind={self.kind} "
+            f"missing={self.missing_chunks}/{self.n_chunks} "
+            f"elapsed={self.elapsed * 1e6:.1f}µs "
+            f"deadline={self.deadline * 1e6:.1f}µs"
+        )
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"{base} [{diag}{' ' + extra if extra else ''}]"
+
+
+class CutoffEstimator:
+    """Adaptive cutoff slack (RFC 6298 adapted to delivery slack).
+
+    ``slack()`` is what the op controller adds to the ``N/B`` ideal when
+    arming the cutoff timer.  With no history it equals the configured
+    static α, so the first collective behaves exactly like the paper's
+    fixed-timer protocol; every clean completion then tightens it toward
+    ``SRTT + K·RTTVAR`` (clamped to ``[alpha_min, alpha_max]``).
+    """
+
+    def __init__(
+        self,
+        alpha0: float,
+        alpha_min: float,
+        alpha_max: float,
+        gain: float = 0.125,
+        var_gain: float = 0.25,
+        var_weight: float = 4.0,
+    ) -> None:
+        if not 0.0 < alpha_min <= alpha_max:
+            raise ValueError("need 0 < alpha_min <= alpha_max")
+        self.alpha0 = alpha0
+        self.alpha_min = alpha_min
+        self.alpha_max = alpha_max
+        self.gain = gain
+        self.var_gain = var_gain
+        self.var_weight = var_weight
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.backoff = 1.0
+        self.samples = 0
+        self.spurious = 0
+        #: adaptation trace: (sample_or_nan, resulting slack) per update
+        self.trace: List[Tuple[float, float]] = []
+
+    def slack(self) -> float:
+        if self.srtt is None:
+            base = self.alpha0
+        else:
+            base = self.srtt + self.var_weight * self.rttvar
+        # Floor before backing off (TCP's min-RTO still doubles): a
+        # fully-tightened timer must still widen after spurious firings.
+        return min(max(base, self.alpha_min) * self.backoff, self.alpha_max)
+
+    def observe(self, sample: float) -> None:
+        """Feed one clean (recovery-free) op's slack sample."""
+        sample = max(float(sample), 0.0)
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar += self.var_gain * (abs(self.srtt - sample) - self.rttvar)
+            self.srtt += self.gain * (sample - self.srtt)
+        # A clean op halves any recovery backoff (slow-start style decay).
+        self.backoff = max(1.0, self.backoff / 2.0)
+        self.samples += 1
+        self.trace.append((sample, self.slack()))
+
+    def on_recovery(self) -> None:
+        """An op needed the slow path: back the timer off (Karn — no
+        sample is taken, the elapsed time measured recovery, not delivery)."""
+        self.backoff = min(self.backoff * 2.0, 64.0)
+        self.spurious += 1
+        self.trace.append((float("nan"), self.slack()))
+
+
+def backoff_delay(
+    round_idx: int,
+    base: float,
+    factor: float,
+    cap: float,
+    jitter_frac: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``base · factor^round`` clamped to ``cap``, plus a uniform jitter of up
+    to ``jitter_frac`` of the clamped delay drawn from *rng* (a named
+    :class:`~repro.sim.random.RandomStreams` stream, so reruns are
+    bit-identical and ranks don't retry in lockstep).
+    """
+    delay = min(base * (factor ** max(round_idx, 0)), cap)
+    if jitter_frac > 0.0 and rng is not None:
+        delay += float(rng.uniform(0.0, jitter_frac * delay))
+    return delay

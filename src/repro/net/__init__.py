@@ -22,6 +22,7 @@ work requests, post sends with immediate data, poll CQEs.
 """
 
 from repro.net.packet import Packet, PacketKind
+from repro.net.faults import GilbertElliott, StragglerSpec, Window
 from repro.net.link import Channel, FaultSpec
 from repro.net.switch import Switch
 from repro.net.memory import Memory, MemoryRegion
@@ -44,6 +45,7 @@ __all__ = [
     "CompletionQueue",
     "Fabric",
     "FaultSpec",
+    "GilbertElliott",
     "Memory",
     "MemoryRegion",
     "Nic",
@@ -53,8 +55,10 @@ __all__ = [
     "QueuePair",
     "RecvWR",
     "SendWR",
+    "StragglerSpec",
     "Switch",
     "Topology",
+    "Window",
     "TopologySpec",
     "Transport",
 ]

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
+from repro.net.faults import StragglerSpec
 from repro.net.link import Channel, FaultSpec
 from repro.net.nic import Nic
 from repro.net.switch import Switch
@@ -92,6 +93,7 @@ class Fabric:
         self.nics: Dict[int, Nic] = {}
         self.switches: Dict[str, Switch] = {}
         self.channels: Dict[Tuple[str, str], Channel] = {}
+        self._stragglers: Dict[int, StragglerSpec] = {}
         self.mcast_groups: Dict[int, McastGroup] = {}
         self._gid_counter = itertools.count(0)
         self._hop_cache: Dict[Tuple[int, int], int] = {}
@@ -125,14 +127,7 @@ class Fabric:
         fault = None
         if self._default_fault is not None:
             # Each channel gets its own copy so counters/seq state differ.
-            f = self._default_fault
-            fault = FaultSpec(
-                drop_prob=f.drop_prob,
-                drop_packet_seqs=set(f.drop_packet_seqs),
-                drop_predicate=f.drop_predicate,
-                reorder_jitter=f.reorder_jitter,
-                protect_reliable=f.protect_reliable,
-            )
+            fault = self._default_fault.clone()
         ch = Channel(
             self.sim,
             src,
@@ -169,6 +164,22 @@ class Fabric:
         """Install ``fault_factory(src, dst) -> FaultSpec|None`` everywhere."""
         for (src, dst), ch in self.channels.items():
             ch.fault = fault_factory(src, dst)
+
+    def set_straggler(self, host: int, spec: Optional[StragglerSpec]) -> None:
+        """Install (or clear, with ``None``) a slow-receiver injection on
+        *host*: inside the spec's windows, that host's progress engine pays
+        extra delay per CQE poll."""
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range")
+        if spec is None:
+            self._stragglers.pop(host, None)
+        else:
+            self._stragglers[host] = spec
+
+    def straggler_delay(self, host: int, now: float) -> float:
+        """Extra per-poll delay currently injected on *host* (0 if none)."""
+        spec = self._stragglers.get(host)
+        return spec.delay_at(now) if spec is not None else 0.0
 
     def one_way_delay(self, src: int, dst) -> float:
         """Propagation-only delay estimate host→host (for ack modeling)."""

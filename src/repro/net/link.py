@@ -16,16 +16,17 @@ retransmits below the software's event horizon.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Set
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.net.faults import GilbertElliott, Window, normalize_windows
 from repro.net.packet import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
-__all__ = ["FaultSpec", "Channel", "UNRELIABLE_KINDS"]
+__all__ = ["FaultSpec", "Channel", "GilbertElliott", "Window", "UNRELIABLE_KINDS"]
 
 #: Packet kinds subject to fault injection / reordering (unreliable
 #: transports).  RC traffic is retransmitted by hardware, so software never
@@ -53,6 +54,17 @@ class FaultSpec:
         out-of-order delivery of unreliable datagrams.
     protect_reliable:
         When True (default), RC packets are never dropped or reordered.
+    gilbert_elliott:
+        Optional two-state Markov burst-loss model; evaluated per droppable
+        packet (chain state lives on the channel, so two channels sharing a
+        spec burst independently).
+    flap_windows:
+        Link-flap outages: every affected packet transmitted inside one of
+        these ``(start, end)`` windows is lost.
+    bandwidth_windows:
+        Degraded-bandwidth periods ``(start, end, factor)``: the channel
+        serializes at ``factor × bandwidth`` inside the window.  Applies to
+        *all* packets — it models the wire, not the transport.
     """
 
     drop_prob: float = 0.0
@@ -60,11 +72,50 @@ class FaultSpec:
     drop_predicate: Optional[Callable[[Packet, int], bool]] = None
     reorder_jitter: float = 0.0
     protect_reliable: bool = True
+    gilbert_elliott: Optional[GilbertElliott] = None
+    flap_windows: Sequence = ()
+    bandwidth_windows: Sequence = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError(
+                f"drop_prob must be a probability in [0, 1], got {self.drop_prob}"
+            )
+        if self.reorder_jitter < 0:
+            raise ValueError(
+                f"reorder_jitter must be >= 0, got {self.reorder_jitter}"
+            )
+        if any(s < 0 for s in self.drop_packet_seqs):
+            raise ValueError("drop_packet_seqs must be non-negative indices")
+        self.flap_windows = normalize_windows(self.flap_windows)
+        self.bandwidth_windows = normalize_windows(self.bandwidth_windows)
 
     def affects(self, packet: Packet) -> bool:
         if self.protect_reliable and packet.kind not in UNRELIABLE_KINDS:
             return False
         return True
+
+    def clone(self) -> "FaultSpec":
+        """An independent copy for one channel (fresh mutable state)."""
+        return FaultSpec(
+            drop_prob=self.drop_prob,
+            drop_packet_seqs=set(self.drop_packet_seqs),
+            drop_predicate=self.drop_predicate,
+            reorder_jitter=self.reorder_jitter,
+            protect_reliable=self.protect_reliable,
+            gilbert_elliott=self.gilbert_elliott,
+            flap_windows=self.flap_windows,
+            bandwidth_windows=self.bandwidth_windows,
+        )
+
+    def in_flap(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.flap_windows)
+
+    def bandwidth_factor(self, t: float) -> float:
+        for w in self.bandwidth_windows:
+            if w.contains(t):
+                return w.factor
+        return 1.0
 
 
 class Channel:
@@ -106,6 +157,7 @@ class Channel:
         "bytes_dropped",
         "packets_dropped",
         "_droppable_seq",
+        "_ge_bad",
     )
 
     def __init__(
@@ -144,6 +196,7 @@ class Channel:
         self.bytes_dropped = 0
         self.packets_dropped = 0
         self._droppable_seq = 0  #: index among fault-affected packets
+        self._ge_bad: Optional[bool] = None  #: Gilbert–Elliott chain state
 
     @property
     def name(self) -> str:
@@ -159,12 +212,17 @@ class Channel:
         packet still occupies the wire but is never delivered.
         """
         now = self.sim.now
+        bandwidth = self.bandwidth
+        if self.fault is not None:
+            # Degraded-bandwidth periods slow the wire itself, for every
+            # transport (evaluated at transmit start — a DES approximation).
+            bandwidth *= self.fault.bandwidth_factor(now)
         if packet.wire_bytes <= self.ctrl_bypass_bytes:
             # High-priority VL: negligible wire time, no bulk queuing.
-            finish = now + packet.wire_bytes / self.bandwidth
+            finish = now + packet.wire_bytes / bandwidth
         else:
             start = now if now > self.busy_until else self.busy_until
-            finish = start + packet.wire_bytes / self.bandwidth
+            finish = start + packet.wire_bytes / bandwidth
             self.busy_until = finish
         self.bytes_sent += packet.wire_bytes
         self.payload_bytes_sent += packet.payload_len
@@ -190,10 +248,27 @@ class Channel:
     def _should_drop(self, packet: Packet, seq: int) -> bool:
         fault = self.fault
         assert fault is not None
+        if fault.in_flap(self.sim.now):
+            return True  # link down: full outage window
         if seq in fault.drop_packet_seqs:
             return True
         if fault.drop_predicate is not None and fault.drop_predicate(packet, seq):
             return True
+        ge = fault.gilbert_elliott
+        if ge is not None:
+            if self.rng is None:
+                raise RuntimeError(f"channel {self.name} needs an rng for burst loss")
+            if self._ge_bad is None:
+                self._ge_bad = ge.start_bad
+            # Step the chain, then sample the state's loss probability.
+            if self._ge_bad:
+                if self.rng.random() < ge.p_bad_good:
+                    self._ge_bad = False
+            elif self.rng.random() < ge.p_good_bad:
+                self._ge_bad = True
+            p = ge.drop_bad if self._ge_bad else ge.drop_good
+            if p > 0.0 and self.rng.random() < p:
+                return True
         if fault.drop_prob > 0.0:
             if self.rng is None:
                 raise RuntimeError(f"channel {self.name} needs an rng for drop_prob")

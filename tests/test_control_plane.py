@@ -8,7 +8,6 @@ from repro.core.control import (
     MSG_FETCH_ACK,
     MSG_FETCH_REQ,
     MSG_FINAL,
-    ControlPlane,
 )
 from repro.core.communicator import Communicator
 from repro.net import Fabric, Topology
@@ -144,6 +143,14 @@ def test_barrier_subset_of_ranks():
     sim.spawn(party(2))
     sim.run()
     assert sorted(done) == [0, 2]
+
+
+def test_barrier_requires_explicit_ranks():
+    """Deriving the rank list from the lazily created control QPs deadlocks
+    when peers disagree on the membership — it must be passed explicitly."""
+    sim, comm, planes = make_planes(2)
+    with pytest.raises(ValueError, match="explicit"):
+        next(planes[0].barrier(tag=0))
 
 
 def test_ctrl_pairs_created_lazily():

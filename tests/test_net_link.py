@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.net.faults import GilbertElliott, StragglerSpec, Window
 from repro.net.link import Channel, FaultSpec
 from repro.net.packet import Packet, PacketKind, mcast_dst
 from repro.sim import RandomStreams, Simulator
@@ -189,3 +190,146 @@ def test_invalid_channel_params():
         Channel(sim, "a", "b", sink, bandwidth=0, latency=0)
     with pytest.raises(ValueError):
         Channel(sim, "a", "b", sink, bandwidth=1e9, latency=-1)
+
+
+# ----------------------------------------------------- FaultSpec validation
+
+
+def test_faultspec_rejects_bad_drop_prob():
+    with pytest.raises(ValueError, match="drop_prob"):
+        FaultSpec(drop_prob=-0.1)
+    with pytest.raises(ValueError, match="drop_prob"):
+        FaultSpec(drop_prob=1.5)
+
+
+def test_faultspec_rejects_negative_jitter():
+    with pytest.raises(ValueError, match="reorder_jitter"):
+        FaultSpec(reorder_jitter=-1e-6)
+
+
+def test_faultspec_rejects_negative_seq():
+    with pytest.raises(ValueError, match="drop_packet_seqs"):
+        FaultSpec(drop_packet_seqs={-1, 3})
+
+
+def test_faultspec_normalizes_window_tuples():
+    spec = FaultSpec(flap_windows=[(1.0, 2.0)], bandwidth_windows=[(0.0, 1.0, 0.5)])
+    assert all(isinstance(w, Window) for w in spec.flap_windows)
+    assert spec.in_flap(1.5) and not spec.in_flap(2.0)  # half-open
+    assert spec.bandwidth_factor(0.5) == 0.5
+    assert spec.bandwidth_factor(1.0) == 1.0
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        Window(start=-1.0, end=2.0)
+    with pytest.raises(ValueError):
+        Window(start=2.0, end=1.0)
+    with pytest.raises(ValueError):
+        Window(start=0.0, end=1.0, factor=0.0)
+
+
+def test_gilbert_elliott_validation_and_stationary_rate():
+    with pytest.raises(ValueError, match="p_good_bad"):
+        GilbertElliott(p_good_bad=1.2, p_bad_good=0.5)
+    ge = GilbertElliott(p_good_bad=0.01, p_bad_good=0.19, drop_bad=1.0)
+    assert ge.mean_burst_packets == pytest.approx(1 / 0.19)
+    assert ge.expected_loss_rate() == pytest.approx(0.05)
+
+
+def test_faultspec_clone_is_independent():
+    spec = FaultSpec(drop_packet_seqs={1, 2})
+    copy = spec.clone()
+    copy.drop_packet_seqs.add(9)
+    assert 9 not in spec.drop_packet_seqs
+
+
+# --------------------------------------------------- time-varying schedules
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    """Same stationary loss rate, but GE losses cluster into runs."""
+    sim = Simulator()
+    sink = SinkNode(sim)
+    ge = GilbertElliott(p_good_bad=0.02, p_bad_good=0.2, drop_bad=1.0)
+    ch = make_channel(sim, sink, bandwidth=1e12, fault=FaultSpec(gilbert_elliott=ge),
+                      seed=7)
+    n = 4000
+    for i in range(n):
+        ch.transmit(pkt(imm=i))
+    sim.run()
+    got = {p.imm for _, p in sink.received}
+    lost = [i for i in range(n) if i not in got]
+    assert 0 < len(lost) < n
+    # Loss rate near the stationary expectation...
+    assert len(lost) / n == pytest.approx(ge.expected_loss_rate(), rel=0.5)
+    # ...and clustered: mean run length well above the ~1.02 of Bernoulli.
+    runs, cur = [], 1
+    for a, b in zip(lost, lost[1:]):
+        if b == a + 1:
+            cur += 1
+        else:
+            runs.append(cur)
+            cur = 1
+    runs.append(cur)
+    assert sum(runs) / len(runs) > 2.0
+
+
+def test_flap_window_drops_everything_inside_only():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(flap_windows=[(2e-6, 4e-6)])
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0, fault=fault)
+    # 1000 B at 1 GB/s = 1 µs serialization each, queued back to back; the
+    # drop decision is taken at transmit-queue time.
+    for i in range(6):
+        sim.call_at(i * 1e-6, ch.transmit, pkt(n=1000, header=0, imm=i))
+    sim.run()
+    delivered = sorted(p.imm for _, p in sink.received)
+    assert delivered == [0, 1, 4, 5]
+    assert ch.packets_dropped == 2
+
+
+def test_flap_respects_protect_reliable():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(flap_windows=[(0.0, 1.0)])
+    ch = make_channel(sim, sink, fault=fault)
+    ch.transmit(pkt(kind=PacketKind.RC_SEND))
+    ch.transmit(pkt(kind=PacketKind.UD_SEND))
+    sim.run()
+    assert [p.kind for _, p in sink.received] == [PacketKind.RC_SEND]
+
+
+def test_bandwidth_window_slows_serialization():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(bandwidth_windows=[(0.0, 1.0, 0.25)])
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0, fault=fault)
+    finish = ch.transmit(pkt(n=1000, header=0))
+    assert finish == pytest.approx(4e-6)  # 1 µs nominal / 0.25
+    sim.run()
+    # Outside the window the nominal rate is restored.
+    sim2 = Simulator()
+    sink2 = SinkNode(sim2)
+    ch2 = make_channel(sim2, sink2, bandwidth=1e9, latency=0.0,
+                       fault=FaultSpec(bandwidth_windows=[(10.0, 11.0, 0.25)]))
+    assert ch2.transmit(pkt(n=1000, header=0)) == pytest.approx(1e-6)
+
+
+def test_bandwidth_window_applies_to_reliable_traffic_too():
+    sim = Simulator()
+    sink = SinkNode(sim)
+    fault = FaultSpec(bandwidth_windows=[(0.0, 1.0, 0.5)])
+    ch = make_channel(sim, sink, bandwidth=1e9, latency=0.0, fault=fault)
+    finish = ch.transmit(pkt(n=1000, header=0, kind=PacketKind.RC_WRITE))
+    assert finish == pytest.approx(2e-6)
+
+
+def test_straggler_spec_delay_windows():
+    spec = StragglerSpec(windows=[(1.0, 2.0)], extra_poll_delay=5e-6)
+    assert spec.delay_at(0.5) == 0.0
+    assert spec.delay_at(1.5) == 5e-6
+    assert spec.delay_at(2.0) == 0.0
+    with pytest.raises(ValueError):
+        StragglerSpec(windows=[], extra_poll_delay=-1.0)

@@ -68,6 +68,40 @@ def test_ud_rnr_drop_when_no_recv_posted():
     assert fabric.total_rnr_drops() == 1
 
 
+def test_ud_rnr_drop_on_buffer_too_small():
+    """A posted WR shorter than the payload is a local length error: the
+    datagram is consumed and dropped (counted as RNR), never truncated."""
+    sim, fabric = make_fabric()
+    sender, receiver = fabric.nic(0), fabric.nic(1)
+    s_mr = fill(sender.memory.register(2048))
+    r_mr = receiver.memory.register(2048)
+    sqp = sender.create_qp(Transport.UD)
+    rqp = receiver.create_qp(Transport.UD)
+    rqp.post_recv(RecvWR(wr_id=1, mr_key=r_mr.key, offset=0, length=100))
+    sqp.post_send(SendWR(wr_id=2, verb="send", mr_key=s_mr.key, length=2048,
+                         dst=1, dst_qpn=rqp.qpn))
+    sim.run()
+    assert rqp.rnr_drops == 1
+    assert receiver.rnr_drops == 1
+    assert len(rqp.recv_cq) == 0
+    # The short WR was consumed by the drop (verbs semantics).
+    assert len(rqp.recv_queue) == 0
+
+
+def test_ud_rnr_drops_count_per_datagram():
+    sim, fabric = make_fabric()
+    sender, receiver = fabric.nic(0), fabric.nic(1)
+    s_mr = fill(sender.memory.register(512))
+    sqp = sender.create_qp(Transport.UD)
+    rqp = receiver.create_qp(Transport.UD)
+    for i in range(3):
+        sqp.post_send(SendWR(wr_id=i, verb="send", mr_key=s_mr.key, length=512,
+                             dst=1, dst_qpn=rqp.qpn))
+    sim.run()
+    assert rqp.rnr_drops == 3
+    assert fabric.total_rnr_drops() == 3
+
+
 def test_ud_mtu_enforced():
     sim, fabric = make_fabric()
     nic = fabric.nic(0)
@@ -221,6 +255,44 @@ def test_rc_write_with_imm_consumes_recv():
     assert len(cqes) == 1
     assert cqes[0].opcode is Opcode.RECV_RDMA_WITH_IMM
     assert cqes[0].imm == 42
+
+
+def test_rc_write_with_imm_rnr_retries_until_recv_posted():
+    """RC write-with-imm without a posted receive: the data is placed
+    immediately (hardware RNR-retry below the software horizon) and the
+    completion is parked until a WR shows up — never dropped."""
+    sim, fabric = make_fabric()
+    qa, qb = connect_rc(fabric, 0, 1)
+    s_mr = fill(fabric.nic(0).memory.register(300))
+    r_mr = fabric.nic(1).memory.register(1000)
+    qa.post_send(SendWR(wr_id=1, verb="write", mr_key=s_mr.key, length=300,
+                        remote_key=r_mr.key, remote_offset=0, imm=9))
+    sim.run()
+    assert np.array_equal(r_mr.buf[:300], s_mr.buf[:300])  # data placed
+    assert len(qb.recv_cq) == 0  # notification parked
+    assert qb.rnr_drops == 0  # RC never drops
+    qb.post_recv(RecvWR(wr_id=2, mr_key=r_mr.key, offset=0, length=0))
+    sim.run()
+    cqes = qb.recv_cq.poll()
+    assert len(cqes) == 1
+    assert cqes[0].opcode is Opcode.RECV_RDMA_WITH_IMM
+    assert cqes[0].imm == 9
+
+
+def test_rc_parked_imms_drain_in_order():
+    sim, fabric = make_fabric()
+    qa, qb = connect_rc(fabric, 0, 1)
+    s_mr = fill(fabric.nic(0).memory.register(100))
+    r_mr = fabric.nic(1).memory.register(1000)
+    for imm in (1, 2, 3):
+        qa.post_send(SendWR(wr_id=imm, verb="write", mr_key=s_mr.key, length=100,
+                            remote_key=r_mr.key, remote_offset=0, imm=imm))
+    sim.run()
+    assert len(qb.recv_cq) == 0
+    for i in range(3):
+        qb.post_recv(RecvWR(wr_id=10 + i, mr_key=r_mr.key, offset=0, length=0))
+    sim.run()
+    assert [c.imm for c in qb.recv_cq.poll()] == [1, 2, 3]
 
 
 def test_rc_read_fetches_remote_data():

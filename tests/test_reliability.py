@@ -1,0 +1,109 @@
+"""Unit tests for the adaptive reliability machinery (core/reliability.py)."""
+
+import math
+
+import pytest
+
+from repro.core.reliability import CutoffEstimator, ReliabilityError, backoff_delay
+from repro.sim import RandomStreams
+
+
+def make_est(**kw):
+    defaults = dict(alpha0=200e-6, alpha_min=20e-6, alpha_max=2e-3)
+    defaults.update(kw)
+    return CutoffEstimator(**defaults)
+
+
+def test_initial_slack_is_static_alpha():
+    est = make_est()
+    assert est.slack() == pytest.approx(200e-6)
+
+
+def test_clean_samples_tighten_slack():
+    est = make_est()
+    for _ in range(20):
+        est.observe(10e-6)
+    # SRTT → 10 µs, RTTVAR → 0, so slack converges near SRTT (clamped).
+    assert est.slack() < 60e-6
+    assert est.slack() >= est.alpha_min
+
+
+def test_slack_clamped_to_bounds():
+    est = make_est()
+    for _ in range(50):
+        est.observe(0.0)
+    assert est.slack() == est.alpha_min
+    for _ in range(50):
+        est.on_recovery()
+    # Backoff is capped at 64x, and the result never exceeds alpha_max.
+    assert est.slack() == pytest.approx(min(64 * est.alpha_min, est.alpha_max))
+    assert est.slack() <= est.alpha_max
+
+
+def test_recovery_backs_off_and_clean_ops_decay():
+    est = make_est()
+    est.observe(10e-6)
+    tight = est.slack()
+    est.on_recovery()
+    assert est.slack() == pytest.approx(min(tight * 2, est.alpha_max))
+    est.observe(10e-6)  # decays the backoff again
+    assert est.slack() < tight * 2
+
+
+def test_variance_widens_slack():
+    steady, noisy = make_est(), make_est()
+    for _ in range(30):
+        steady.observe(50e-6)
+    for i in range(30):
+        noisy.observe(50e-6 if i % 2 else 150e-6)
+    assert noisy.slack() > steady.slack()
+
+
+def test_trace_records_samples_and_recoveries():
+    est = make_est()
+    est.observe(5e-6)
+    est.on_recovery()
+    assert len(est.trace) == 2
+    assert est.trace[0][0] == pytest.approx(5e-6)
+    assert math.isnan(est.trace[1][0])
+    assert est.samples == 1 and est.spurious == 1
+
+
+def test_estimator_validates_bounds():
+    with pytest.raises(ValueError):
+        CutoffEstimator(alpha0=1e-4, alpha_min=0.0, alpha_max=1e-3)
+    with pytest.raises(ValueError):
+        CutoffEstimator(alpha0=1e-4, alpha_min=2e-3, alpha_max=1e-3)
+
+
+def test_negative_samples_clamped():
+    est = make_est()
+    est.observe(-5.0)  # delivery faster than the N/B ideal: clamp to 0
+    assert est.srtt == 0.0
+    assert est.slack() == est.alpha_min
+
+
+def test_backoff_delay_growth_and_cap():
+    assert backoff_delay(0, 100e-6, 2.0, 1e-3, 0.0) == pytest.approx(100e-6)
+    assert backoff_delay(2, 100e-6, 2.0, 1e-3, 0.0) == pytest.approx(400e-6)
+    assert backoff_delay(10, 100e-6, 2.0, 1e-3, 0.0) == pytest.approx(1e-3)
+
+
+def test_backoff_delay_jitter_deterministic():
+    a = backoff_delay(1, 100e-6, 2.0, 1e-3, 0.5, RandomStreams(seed=3).stream("x"))
+    b = backoff_delay(1, 100e-6, 2.0, 1e-3, 0.5, RandomStreams(seed=3).stream("x"))
+    assert a == b
+    assert 200e-6 <= a <= 300e-6  # jitter adds at most 50%
+
+
+def test_reliability_error_renders_diagnostics():
+    err = ReliabilityError(
+        "recovery deadline exceeded",
+        rank=3, coll_id=7, kind="broadcast", missing_chunks=12, n_chunks=64,
+        elapsed=0.25, deadline=0.25, counters={"fetch_ack_timeouts": 4},
+    )
+    text = str(err)
+    assert "rank=3" in text and "missing=12/64" in text
+    assert "fetch_ack_timeouts=4" in text
+    assert isinstance(err, RuntimeError)
+    assert err.counters["fetch_ack_timeouts"] == 4

@@ -5,21 +5,26 @@ Each Broadcast leaf tracks every received chunk in a bitmap indexed by PSN
 per chunk: a 1.5 MB SmartNIC LLC addresses ≈ 50 GB of receive buffer at
 4 KiB chunks, Fig 7) and cheap to update on the critical path.
 
-The implementation stores bits in a ``numpy`` ``uint64`` word array.  The
-hot operation — :meth:`Bitmap.set` — is O(1) with an incremental
-population count, so completeness checks are O(1) too.  Scans for missing
-chunks (the reliability slow path) are vectorized.
+The implementation stores bits in a list of Python-int words: per-bit
+``set``/``test`` with native int masks is ≈10× faster than numpy uint64
+scalar arithmetic, and these run once per received packet — the hottest
+protocol-side operation in the simulator.  Scans for missing chunks (the
+reliability slow path) convert to numpy on demand and stay vectorized,
+including the run-coalescing used by the fetch layer.  :meth:`set_range`
+is the bulk path used when a coalesced packet train or a fetched run
+lands many consecutive chunks at once.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 __all__ = ["Bitmap"]
 
 _WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
 
 
 class Bitmap:
@@ -31,7 +36,7 @@ class Bitmap:
         if n_bits < 0:
             raise ValueError("n_bits must be non-negative")
         self.n_bits = n_bits
-        self._words = np.zeros((n_bits + _WORD_BITS - 1) // _WORD_BITS, dtype=np.uint64)
+        self._words: List[int] = [0] * ((n_bits + _WORD_BITS - 1) // _WORD_BITS)
         self._set_count = 0
 
     # ------------------------------------------------------------- mutation
@@ -41,25 +46,58 @@ class Bitmap:
         which happens when a chunk is both multicast-received and fetched)."""
         if not 0 <= i < self.n_bits:
             raise IndexError(f"bit {i} out of range ({self.n_bits})")
-        w, b = divmod(i, _WORD_BITS)
-        mask = np.uint64(1 << b)
-        if self._words[w] & mask:
+        w = i >> 6
+        mask = 1 << (i & 63)
+        word = self._words[w]
+        if word & mask:
             return False
-        self._words[w] |= mask
+        self._words[w] = word | mask
         self._set_count += 1
         return True
+
+    def set_range(self, start: int, n: int) -> int:
+        """Set bits ``[start, start + n)`` in bulk; returns how many were
+        newly set.  The coalesced-train receive path and the fetch layer
+        use this instead of ``n`` per-bit calls."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return 0
+        end = start + n
+        if not (0 <= start and end <= self.n_bits):
+            raise IndexError(
+                f"range [{start}, {end}) out of range ({self.n_bits})"
+            )
+        words = self._words
+        newly = 0
+        w_lo, b_lo = start >> 6, start & 63
+        w_hi, b_hi = (end - 1) >> 6, ((end - 1) & 63) + 1
+        for w in range(w_lo, w_hi + 1):
+            mask = _WORD_MASK
+            if w == w_lo:
+                mask &= _WORD_MASK << b_lo
+            if w == w_hi:
+                mask &= _WORD_MASK >> (_WORD_BITS - b_hi)
+            word = words[w]
+            add = mask & ~word
+            if add:
+                words[w] = word | mask
+                newly += bin(add).count("1")
+        self._set_count += newly
+        return newly
 
     def clear(self, i: int) -> None:
         if not 0 <= i < self.n_bits:
             raise IndexError(f"bit {i} out of range ({self.n_bits})")
-        w, b = divmod(i, _WORD_BITS)
-        mask = np.uint64(1 << b)
-        if self._words[w] & mask:
-            self._words[w] &= ~mask
+        w = i >> 6
+        mask = 1 << (i & 63)
+        word = self._words[w]
+        if word & mask:
+            self._words[w] = word & ~mask
             self._set_count -= 1
 
     def reset(self) -> None:
-        self._words[:] = 0
+        self._words = [0] * len(self._words)
         self._set_count = 0
 
     # -------------------------------------------------------------- queries
@@ -67,8 +105,7 @@ class Bitmap:
     def test(self, i: int) -> bool:
         if not 0 <= i < self.n_bits:
             raise IndexError(f"bit {i} out of range ({self.n_bits})")
-        w, b = divmod(i, _WORD_BITS)
-        return bool(self._words[w] & np.uint64(1 << b))
+        return bool(self._words[i >> 6] & (1 << (i & 63)))
 
     @property
     def count(self) -> int:
@@ -82,6 +119,11 @@ class Bitmap:
             return self._set_count == self.n_bits
         return not self.missing(n)
 
+    def _missing_array(self, n: int) -> np.ndarray:
+        words = np.array(self._words, dtype=np.uint64)
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:n]
+        return np.flatnonzero(bits == 0)
+
     def missing(self, n: int | None = None) -> List[int]:
         """Indices of unset bits among the first *n* (vectorized scan)."""
         n = self.n_bits if n is None else n
@@ -89,25 +131,35 @@ class Bitmap:
             return []
         if n > self.n_bits:
             raise IndexError(f"n={n} exceeds bitmap size {self.n_bits}")
-        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")[:n]
-        return np.flatnonzero(bits == 0).tolist()
+        return self._missing_array(n).tolist()
 
     def missing_runs(self, n: int | None = None) -> List[tuple]:
         """Missing bits coalesced into ``(start, length)`` runs — the shape
-        the fetch layer wants for issuing contiguous RDMA Reads."""
-        miss = self.missing(n)
-        runs: List[tuple] = []
-        for i in miss:
-            if runs and runs[-1][0] + runs[-1][1] == i:
-                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
-            else:
-                runs.append((i, 1))
+        the fetch layer wants for issuing contiguous RDMA Reads.
+
+        Vectorized: run boundaries are the places where the sorted missing
+        indices jump by more than one.
+        """
+        n = self.n_bits if n is None else n
+        if n <= 0:
+            return []
+        if n > self.n_bits:
+            raise IndexError(f"n={n} exceeds bitmap size {self.n_bits}")
+        miss = self._missing_array(n)
+        if miss.size == 0:
+            return []
+        breaks = np.flatnonzero(np.diff(miss) > 1)
+        starts = miss[np.concatenate(([0], breaks + 1))]
+        ends = miss[np.concatenate((breaks, [miss.size - 1]))]
+        runs: List[Tuple[int, int]] = [
+            (int(s), int(e - s + 1)) for s, e in zip(starts, ends)
+        ]
         return runs
 
     @property
     def nbytes(self) -> int:
         """Memory footprint of the bit storage."""
-        return int(self._words.nbytes)
+        return len(self._words) * (_WORD_BITS // 8)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Bitmap {self._set_count}/{self.n_bits}>"

@@ -170,6 +170,9 @@ class CollectiveResult:
     ranks: List[RankStats]
     buffers: List[np.ndarray]
     traffic: Dict[str, int]
+    #: simulator engine telemetry for this collective: events processed,
+    #: coalesced trains and train packets (fast-path coverage)
+    engine: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -251,7 +254,8 @@ class OpHandle:
     def complete(self) -> bool:
         return self.done.triggered
 
-    def result(self, traffic: Optional[Dict[str, int]] = None) -> CollectiveResult:
+    def result(self, traffic: Optional[Dict[str, int]] = None,
+               engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
         if not self.complete:
             raise RuntimeError("collective has not completed")
         ranks = []
@@ -283,6 +287,7 @@ class OpHandle:
             ranks=ranks,
             buffers=self.buffers,
             traffic=traffic or {},
+            engine=engine or {},
         )
 
 
@@ -471,12 +476,22 @@ class Communicator:
             "rnr_drops": self.fabric.total_rnr_drops(),
         }
 
+    def _engine_snapshot(self) -> Dict[str, int]:
+        return {
+            "sim_events": self.sim.events_processed,
+            "trains": self.fabric.total_trains(),
+            "train_packets": self.fabric.total_train_packets(),
+        }
+
     def _run_sync(self, handle: OpHandle) -> CollectiveResult:
         before = self._snapshot()
+        eng_before = self._engine_snapshot()
         self.run(handle)
         after = self._snapshot()
+        eng_after = self._engine_snapshot()
         traffic = {k: after[k] - before[k] for k in before}
-        result = handle.result(traffic)
+        engine = {k: eng_after[k] - eng_before[k] for k in eng_before}
+        result = handle.result(traffic, engine)
         self.release(handle)
         return result
 

@@ -85,9 +85,8 @@ class OpState:
         self.retry_histogram = []
         self.timer_trace = []
         # This rank's own chunks are present by construction.
-        for psn in range(self.send_lo, self.send_hi):
-            self.bitmap.set(psn)
-            self.placed.set(psn)
+        self.bitmap.set_range(self.send_lo, self.send_hi - self.send_lo)
+        self.placed.set_range(self.send_lo, self.send_hi - self.send_lo)
         self.maybe_complete()
 
     # ------------------------------------------------------------ accessors

@@ -225,6 +225,7 @@ class RankEngine:
             for i in range(0, len(psns), cfg.batch_size):
                 batch = psns[i : i + cfg.batch_size]
                 yield Timeout(self.sim, cost.send_batch(len(batch)))
+                items = []
                 for j, psn in enumerate(batch):
                     off, ln = op.plan.bounds(psn)
                     sg = op.subgroups.subgroup_of(psn - op.send_lo)
@@ -243,7 +244,10 @@ class RankEngine:
                             length=ln, imm=imm, mcast_gid=self.comm.mcast_gids[sg],
                             signaled=last,
                         )
-                    qp.post_send(wr)
+                    items.append((qp, wr))
+                # One doorbell for the whole batch: lets the NIC serialize
+                # consecutive same-destination WRs as a single packet train.
+                self.nic.post_send_batch(items)
                 outstanding += 1
                 while outstanding >= cfg.max_outstanding_batches:
                     yield self.send_cq.wait()
@@ -437,11 +441,9 @@ class RankEngine:
             expected -= done
         got = 0
         for start, count in runs:
-            for psn in range(start, start + count):
-                if op.bitmap.set(psn):
-                    op.stats["recovered_chunks"] += 1
-                    got += 1
-                op.placed.set(psn)
+            got += op.bitmap.set_range(start, count)
+            op.placed.set_range(start, count)
+        op.stats["recovered_chunks"] += got
         return got
 
     def _fetch_server(self):

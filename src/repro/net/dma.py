@@ -75,7 +75,7 @@ class DmaEngine:
             dst[:] = src
             done.succeed()
 
-        self.sim.call_at(finish + self.latency, _complete)
+        self.sim.post_at(finish + self.latency, _complete)
         return done
 
     @property

@@ -66,6 +66,12 @@ class Fabric:
         Named RNG streams for fault injection / jitter.
     default_fault:
         Fault spec cloned onto every channel (fabric-wide BER / jitter).
+    coalescing:
+        Enable the packet-train fast path on every channel (default on;
+        channels with live fault schedules fall back to per-packet
+        simulation automatically).  Disable to force per-packet mode
+        everywhere — virtual-time results are identical, only wall-clock
+        differs (see DESIGN.md §"Simulator fast path").
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class Fabric:
         switch_delay: float = 0.1 * US,
         streams: Optional[RandomStreams] = None,
         default_fault: Optional[FaultSpec] = None,
+        coalescing: bool = True,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -89,6 +96,7 @@ class Fabric:
         self.loopback_delay = 0.5 * US
         self.streams = streams or RandomStreams(seed=0)
         self._default_fault = default_fault
+        self.coalescing = bool(coalescing)
 
         self.nics: Dict[int, Nic] = {}
         self.switches: Dict[str, Switch] = {}
@@ -96,6 +104,7 @@ class Fabric:
         self._stragglers: Dict[int, StragglerSpec] = {}
         self.mcast_groups: Dict[int, McastGroup] = {}
         self._gid_counter = itertools.count(0)
+        self._inc_gid_counter = itertools.count(1 << 16)  # disjoint from mcast gids
         self._hop_cache: Dict[Tuple[int, int], int] = {}
         self._inc_trees: Dict[int, object] = {}
 
@@ -137,6 +146,7 @@ class Fabric:
             latency=self.link_latency,
             fault=fault,
             rng=self.streams.stream(f"chan:{src}->{dst}"),
+            coalescing=self.coalescing,
         )
         self.channels[(src, dst)] = ch
         if is_host(src):
@@ -261,6 +271,21 @@ class Fabric:
 
     def per_switch_egress(self) -> Dict[str, int]:
         return {name: sw.egress_wire_bytes for name, sw in self.switches.items()}
+
+    def set_coalescing(self, enabled: bool) -> None:
+        """Toggle the packet-train fast path on every channel (used by the
+        equivalence suite to force per-packet mode)."""
+        self.coalescing = bool(enabled)
+        for ch in self.channels.values():
+            ch.coalescing = self.coalescing
+
+    def total_trains(self) -> int:
+        """Coalesced trains moved across all channels (fast-path telemetry)."""
+        return sum(ch.trains_sent for ch in self.channels.values())
+
+    def total_train_packets(self) -> int:
+        """Packets that rode coalesced trains (vs per-packet events)."""
+        return sum(ch.train_packets for ch in self.channels.values())
 
     def total_drops(self) -> int:
         return sum(ch.packets_dropped for ch in self.channels.values())

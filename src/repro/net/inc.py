@@ -23,7 +23,6 @@ results are verifiable.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,9 +34,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.fabric import Fabric
 
 __all__ = ["IncTree"]
-
-_inc_gids = itertools.count(1 << 16)  # disjoint from multicast gids
-
 
 class _SwitchRole:
     """Per-switch view of the reduction tree."""
@@ -92,7 +88,10 @@ class IncTree:
         self.qpn_of = dict(qpn_of)
         self.shard_bytes = shard_bytes
         self.segment_bytes = segment_bytes
-        self.gid = next(_inc_gids)
+        # Per-fabric allocation: the gid value picks the tree's spine root
+        # (gid % n_cores), so a process-global counter would make event
+        # schedules depend on how many trees *other* fabrics created.
+        self.gid = next(fabric._inc_gid_counter)
         self.segs_per_shard = -(-shard_bytes // segment_bytes)
         self.n_segments = self.segs_per_shard * len(self.members)
         #: (psn) → (count, accumulator) per switch name

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Set
 import numpy as np
 
 from repro.net.faults import GilbertElliott, Window, normalize_windows
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, PacketTrain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -138,6 +138,12 @@ class Channel:
     rng:
         numpy Generator for this channel's stochastic decisions; required
         when the fault spec uses probabilities or jitter.
+    coalescing:
+        Allow :meth:`transmit_train` to move back-to-back packet runs as
+        one event when the channel is fault-free (the simulator fast
+        path).  Disabling it forces per-packet simulation everywhere —
+        used by the equivalence suite; virtual-time results are identical
+        either way.
     """
 
     __slots__ = (
@@ -149,6 +155,7 @@ class Channel:
         "latency",
         "fault",
         "rng",
+        "coalescing",
         "busy_until",
         "ctrl_bypass_bytes",
         "bytes_sent",
@@ -156,6 +163,8 @@ class Channel:
         "payload_bytes_sent",
         "bytes_dropped",
         "packets_dropped",
+        "trains_sent",
+        "train_packets",
         "_droppable_seq",
         "_ge_bad",
     )
@@ -170,6 +179,7 @@ class Channel:
         latency: float,
         fault: Optional[FaultSpec] = None,
         rng: Optional[np.random.Generator] = None,
+        coalescing: bool = True,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -183,6 +193,7 @@ class Channel:
         self.latency = float(latency)
         self.fault = fault
         self.rng = rng
+        self.coalescing = coalescing
         self.busy_until = 0.0
         #: Packets at or below this wire size ride a high-priority virtual
         #: lane: they do not wait behind (or add to) the bulk-data queue.
@@ -195,6 +206,8 @@ class Channel:
         self.packets_sent = 0
         self.bytes_dropped = 0
         self.packets_dropped = 0
+        self.trains_sent = 0  #: coalesced trains moved as one event
+        self.train_packets = 0  #: packets carried inside those trains
         self._droppable_seq = 0  #: index among fault-affected packets
         self._ge_bad: Optional[bool] = None  #: Gilbert–Elliott chain state
 
@@ -242,8 +255,120 @@ class Channel:
                 jitter = float(self.rng.uniform(0.0, self.fault.reorder_jitter))
 
         deliver_at = finish + self.latency + jitter
-        self.sim.call_at(deliver_at, self.dst_node.receive, packet, self)
+        self.sim.post_at(deliver_at, self.dst_node.receive, packet, self)
         return finish
+
+    # ------------------------------------------------------------ fast path
+
+    def _train_inert(self) -> bool:
+        """True when the fault state cannot influence any packet from now
+        on: no drop machinery, no jitter, and no flap/bandwidth window
+        that is active now or scheduled for the future.  Only then may a
+        train be coalesced — any live fault schedule forces the exact
+        per-packet slow path."""
+        f = self.fault
+        if f is None:
+            return True
+        if (
+            f.drop_prob > 0.0
+            or f.drop_packet_seqs
+            or f.drop_predicate is not None
+            or f.gilbert_elliott is not None
+            or f.reorder_jitter > 0.0
+        ):
+            return False
+        now = self.sim.now
+        for w in f.flap_windows:
+            if w.end > now:
+                return False
+        for w in f.bandwidth_windows:
+            if w.end > now:
+                return False
+        return True
+
+    def transmit_train(self, packets: Sequence[Packet], injections: Optional[Sequence[float]] = None):
+        """Transmit a back-to-back run of same-flow packets.
+
+        When the channel is fault-free (see :meth:`_train_inert`) the whole
+        run is serialized with one ``busy_until`` walk and delivered as a
+        single :class:`PacketTrain` arrival event; byte/packet counters and
+        every per-packet serialization/arrival instant are computed with
+        the same float arithmetic as :meth:`transmit`, so virtual-time
+        results are bit-identical.  Otherwise each packet goes through the
+        per-packet slow path at its injection instant.
+
+        ``injections`` gives per-packet transmit-start instants (a switch
+        relaying a train injects each packet as it arrives); ``None`` means
+        all packets are injected now (a sender bursting a batch).  Returns
+        per-packet serialization-finish times, or ``None`` when packets
+        with future injection instants were deferred to the slow path.
+        """
+        n = len(packets)
+        if n == 0:
+            return []
+        now = self.sim.now
+        eligible = (
+            self.coalescing
+            and n > 1
+            and self._train_inert()
+            and all(p.wire_bytes > self.ctrl_bypass_bytes for p in packets)
+        )
+        if not eligible:
+            if injections is None:
+                return [self.transmit(p) for p in packets]
+            finishes = []
+            all_now = True
+            post_at = self.sim.post_at
+            for p, inj in zip(packets, injections):
+                if inj <= now:
+                    finishes.append(self.transmit(p))
+                else:
+                    # Replay the per-packet injection instants the slow
+                    # path would have seen.
+                    all_now = False
+                    post_at(inj, self.transmit, p)
+            return finishes if all_now else None
+
+        bandwidth = self.bandwidth
+        latency = self.latency
+        prev = self.busy_until
+        finishes = []
+        arrivals = []
+        bytes_sum = 0
+        payload_sum = 0
+        if injections is None:
+            for p in packets:
+                start = now if now > prev else prev
+                prev = start + p.wire_bytes / bandwidth
+                finishes.append(prev)
+                arrivals.append(prev + latency)
+                bytes_sum += p.wire_bytes
+                payload_sum += p.payload_len
+        else:
+            for p, inj in zip(packets, injections):
+                start = inj if inj > prev else prev
+                prev = start + p.wire_bytes / bandwidth
+                finishes.append(prev)
+                arrivals.append(prev + latency)
+                bytes_sum += p.wire_bytes
+                payload_sum += p.payload_len
+        self.busy_until = prev
+        self.bytes_sent += bytes_sum
+        self.payload_bytes_sent += payload_sum
+        self.packets_sent += n
+        self.trains_sent += 1
+        self.train_packets += n
+        fault = self.fault
+        if fault is not None:
+            # Keep the droppable-packet index in lockstep with what the
+            # per-packet path would have counted (the spec is inert, so no
+            # RNG is consumed either way).
+            for p in packets:
+                if fault.affects(p):
+                    self._droppable_seq += 1
+        train = PacketTrain(list(packets), arrivals)
+        self.sim.post_at(arrivals[0], self.dst_node.receive_train, train, self)
+        return finishes
 
     def _should_drop(self, packet: Packet, seq: int) -> bool:
         fault = self.fault
@@ -283,6 +408,8 @@ class Channel:
         self.packets_sent = 0
         self.bytes_dropped = 0
         self.packets_dropped = 0
+        self.trains_sent = 0
+        self.train_packets = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.name} sent={self.packets_sent}p/{self.bytes_sent}B>"

@@ -23,16 +23,22 @@ class MemoryRegion:
     """A registered buffer.  ``lkey == rkey == key`` (we do not model PD
     separation; protection faults raise immediately instead)."""
 
-    __slots__ = ("key", "buf", "host")
+    __slots__ = ("key", "buf", "host", "nbytes")
 
     def __init__(self, key: int, buf: np.ndarray, host: int) -> None:
         self.key = key
         self.buf = buf
         self.host = host
+        self.nbytes = int(buf.nbytes)  # cached: hot on every WR validation
 
-    @property
-    def nbytes(self) -> int:
-        return int(self.buf.nbytes)
+    def check(self, offset: int, length: int) -> None:
+        """Bounds-check an access without materializing a view — the cheap
+        validation used by the WR posting hot path."""
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise IndexError(
+                f"MR key={self.key}: access [{offset}, {offset + length}) "
+                f"outside region of {self.nbytes} bytes"
+            )
 
     def view(self, offset: int, length: int) -> np.ndarray:
         """Zero-copy slice with bounds checking (the 'IOMMU')."""

@@ -33,12 +33,12 @@ from __future__ import annotations
 import collections
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.net.link import Channel
 from repro.net.memory import Memory
-from repro.net.packet import MCAST_FLAG, Packet, PacketKind
+from repro.net.packet import MCAST_FLAG, Packet, PacketKind, PacketTrain
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -206,7 +206,7 @@ class QueuePair:
     def post_recv(self, wr: RecvWR) -> None:
         if len(self.recv_queue) >= self.max_recv_wr:
             raise RuntimeError(f"QP {self.qpn}: receive queue full ({self.max_recv_wr})")
-        self.nic.memory.lookup(wr.mr_key).view(wr.offset, wr.length)  # validate
+        self.nic.memory.lookup(wr.mr_key).check(wr.offset, wr.length)  # validate
         self.recv_queue.append(wr)
         self.nic._drain_rc_pending(self)
 
@@ -246,7 +246,7 @@ class QueuePair:
                 raise ValueError("inline data is only supported for SEND")
             return
         if wr.verb != "read" and wr.length > 0:
-            self.nic.memory.lookup(wr.mr_key).view(wr.offset, wr.length)  # validate
+            self.nic.memory.lookup(wr.mr_key).check(wr.offset, wr.length)  # validate
 
 
 class _Reassembly:
@@ -337,12 +337,13 @@ class Nic:
 
     # ------------------------------------------------------------- send path
 
-    def _execute_send(self, qp: QueuePair, wr: SendWR) -> None:
-        if wr.verb == "read":
-            self._execute_read(qp, wr)
-            return
+    def _build_send_packets(self, qp: QueuePair, wr: SendWR):
+        """Materialize the wire packets of a non-read send WR.
+
+        Returns ``(wr, packets, dst)`` — ``wr`` is replaced by a copy for
+        inline sends (payload snapshotted at post time, IB semantics).
+        """
         if wr.inline_data is not None:
-            # Inline send: snapshot the payload at post time (IB semantics).
             import numpy as _np
 
             data = _np.asarray(wr.inline_data)
@@ -373,7 +374,7 @@ class Nic:
         length = wr.length
         n_seg = max(1, -(-length // self.mtu))
         msg_id = next(self._msg_counter)
-        last_finish = self.sim.now
+        packets = []
         for seg in range(n_seg):
             lo = seg * self.mtu
             hi = min(length, lo + self.mtu)
@@ -397,19 +398,76 @@ class Nic:
                     "remote_key": wr.remote_key,
                     "remote_offset": wr.remote_offset + lo,
                 }
-            last_finish = self._transmit(pkt)
+            packets.append(pkt)
+        return wr, packets, dst
 
+    def _complete_send(self, qp: QueuePair, wr: SendWR, dst: int, last_finish: float) -> None:
+        """Schedule the sender-side CQE of a signaled WR."""
         if not wr.signaled:
             return
         opcode = Opcode.SEND if wr.verb == "send" else Opcode.RDMA_WRITE
-        cqe = CQE(wr_id=wr.wr_id, opcode=opcode, qpn=qp.qpn, byte_len=length, imm=wr.imm)
+        cqe = CQE(wr_id=wr.wr_id, opcode=opcode, qpn=qp.qpn, byte_len=wr.length, imm=wr.imm)
         if qp.transport is Transport.RC:
             # Reliable delivery: completion once the last segment is acked.
             delay = (last_finish - self.sim.now) + self.fabric.one_way_delay(self.host, dst) * 2
-            self.sim.call_later(delay, qp.send_cq.push, cqe)
+            self.sim.post_later(delay, qp.send_cq.push, cqe)
         else:
             # Unreliable: local completion when the last byte hits the wire.
-            self.sim.call_at(last_finish, qp.send_cq.push, cqe)
+            self.sim.post_at(last_finish, qp.send_cq.push, cqe)
+
+    def _execute_send(self, qp: QueuePair, wr: SendWR) -> None:
+        if wr.verb == "read":
+            self._execute_read(qp, wr)
+            return
+        wr, packets, dst = self._build_send_packets(qp, wr)
+        last_finish = self._transmit_burst(packets)[-1]
+        self._complete_send(qp, wr, dst, last_finish)
+
+    def post_send_batch(self, items) -> None:
+        """Post a sequence of ``(qp, wr)`` send WRs at the current instant.
+
+        The semantic equivalent of calling ``qp.post_send(wr)`` for each
+        item in order, but back-to-back wire runs toward one destination
+        are handed to the egress channel as a single packet train, which a
+        fault-free channel moves with one event instead of one per packet.
+        The doorbell-batched multicast send worker (§V-A) posts through
+        this path.
+        """
+        run_pkts: List[Packet] = []
+        run_meta: List[tuple] = []  # (qp, wr, dst, n_packets)
+        run_dst: Optional[int] = None
+
+        def flush() -> None:
+            nonlocal run_pkts, run_meta, run_dst
+            if not run_pkts:
+                return
+            finishes = self._transmit_burst(run_pkts)
+            i = 0
+            for fqp, fwr, fdst, n in run_meta:
+                i += n
+                self._complete_send(fqp, fwr, fdst, finishes[i - 1])
+            run_pkts = []
+            run_meta = []
+            run_dst = None
+
+        for qp, wr in items:
+            qp._validate_send(wr)
+            if wr.verb == "read":
+                flush()
+                self._execute_read(qp, wr)
+                continue
+            wr, packets, dst = self._build_send_packets(qp, wr)
+            if dst != run_dst:
+                flush()
+            if dst == self.host:
+                # Loopback never trains; keep the per-packet turnaround.
+                last_finish = self._transmit_burst(packets)[-1]
+                self._complete_send(qp, wr, dst, last_finish)
+                continue
+            run_dst = dst
+            run_pkts.extend(packets)
+            run_meta.append((qp, wr, dst, len(packets)))
+        flush()
 
     def _execute_read(self, qp: QueuePair, wr: SendWR) -> None:
         """RDMA READ: header-only request; target NIC streams the response."""
@@ -439,13 +497,44 @@ class Nic:
         if pkt.dst == self.host:
             # Loopback: no wire, small constant DMA turnaround.
             finish = self.sim.now + self.fabric.loopback_delay
-            self.sim.call_at(finish, self.receive, pkt, None)
+            self.sim.post_at(finish, self.receive, pkt, None)
             return finish
         if self.egress is None:
             raise RuntimeError(f"NIC h{self.host} is not wired to the fabric")
         return self.egress.transmit(pkt)
 
+    def _transmit_burst(self, pkts: List[Packet]) -> List[float]:
+        """Transmit a same-destination packet run built at this instant;
+        returns per-packet serialization-finish times.  Multi-packet wire
+        runs go out as a train (coalesced when the channel allows it)."""
+        if pkts[0].dst == self.host:
+            return [self._transmit(p) for p in pkts]
+        if self.egress is None:
+            raise RuntimeError(f"NIC h{self.host} is not wired to the fabric")
+        if len(pkts) == 1:
+            return [self.egress.transmit(pkts[0])]
+        return self.egress.transmit_train(pkts)
+
     # ---------------------------------------------------------- receive path
+
+    def receive_train(self, train: PacketTrain, channel: Optional[Channel]) -> None:
+        """Replay a coalesced train's packets at their exact per-packet
+        arrival instants: deliver every packet due now, then chain ONE
+        event for the next pending arrival.  State-dependent receive
+        decisions (RNR drops, CQE timestamps, staging occupancy) therefore
+        see the same world as per-packet simulation."""
+        pkts = train.packets
+        arr = train.arrivals
+        n = len(pkts)
+        i = train.next_idx
+        now = self.sim.now
+        receive = self.receive
+        while i < n and arr[i] <= now:
+            receive(pkts[i], channel)
+            i += 1
+        if i < n:
+            train.next_idx = i
+            self.sim.post_at(arr[i], self.receive_train, train, channel)
 
     def receive(self, packet: Packet, channel: Optional[Channel]) -> None:
         """Called by the delivering channel (or loopback)."""
@@ -649,6 +738,7 @@ class Nic:
         data = src_mr.view(ctx["remote_offset"], length)
         n_seg = max(1, -(-length // self.mtu))
         msg_id = next(self._msg_counter)
+        resps = []
         for seg in range(n_seg):
             lo = seg * self.mtu
             hi = min(length, lo + self.mtu)
@@ -671,7 +761,8 @@ class Nic:
                     "signaled": ctx["signaled"],
                 },
             )
-            self._transmit(resp)
+            resps.append(resp)
+        self._transmit_burst(resps)
 
     def _absorb_read_response(self, qp: QueuePair, packet: Packet) -> None:
         ctx = packet.ctx

@@ -8,18 +8,27 @@ RDMA hardware DMA-reads the source buffer at transmit time.
 Packet sizes on the wire include a configurable per-packet header overhead
 (IB LRH+GRH+BTH+ICRC etc.); traffic counters can report either wire bytes
 or payload bytes.
+
+:class:`Packet` is a hand-written ``__slots__`` class rather than a
+dataclass: packet construction and fan-out cloning are the hottest
+allocation sites in the simulator, and slotted instances are both smaller
+and faster to create (``dataclass(slots=True)`` needs Python ≥3.10; the CI
+matrix includes 3.9).
+
+:class:`PacketTrain` is the fast-path unit: a back-to-back run of packets
+of one flow that a fault-free channel serialized with a single event (see
+:meth:`repro.net.link.Channel.transmit_train`).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["PacketKind", "Packet", "MCAST_FLAG"]
+__all__ = ["PacketKind", "Packet", "PacketTrain", "MCAST_FLAG"]
 
 #: Destination ids at or above this value denote multicast group ids
 #: (``MCAST_FLAG + gid``), mirroring the IB multicast LID range.
@@ -41,7 +50,6 @@ class PacketKind(enum.Enum):
     CONTROL = "control"  #: protocol-internal control datagram
 
 
-@dataclass
 class Packet:
     """One wire packet.
 
@@ -77,24 +85,55 @@ class Packet:
         address of a write segment).
     """
 
-    src: int
-    dst: int
-    kind: PacketKind
-    payload: Optional[np.ndarray] = None
-    payload_len: int = 0
-    header_bytes: int = 64
-    imm: Optional[int] = None
-    qpn: Optional[int] = None
-    src_qpn: Optional[int] = None
-    msg_id: Optional[int] = None
-    msg_seq: int = 0
-    msg_segments: int = 1
-    ctx: dict = field(default_factory=dict)
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "payload_len",
+        "header_bytes",
+        "imm",
+        "qpn",
+        "src_qpn",
+        "msg_id",
+        "msg_seq",
+        "msg_segments",
+        "ctx",
+        "pkt_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.payload is not None and self.payload_len == 0:
-            self.payload_len = int(self.payload.nbytes)
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: PacketKind,
+        payload: Optional[np.ndarray] = None,
+        payload_len: int = 0,
+        header_bytes: int = 64,
+        imm: Optional[int] = None,
+        qpn: Optional[int] = None,
+        src_qpn: Optional[int] = None,
+        msg_id: Optional[int] = None,
+        msg_seq: int = 0,
+        msg_segments: int = 1,
+        ctx: Optional[dict] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        if payload is not None and payload_len == 0:
+            payload_len = int(payload.nbytes)
+        self.payload_len = payload_len
+        self.header_bytes = header_bytes
+        self.imm = imm
+        self.qpn = qpn
+        self.src_qpn = src_qpn
+        self.msg_id = msg_id
+        self.msg_seq = msg_seq
+        self.msg_segments = msg_segments
+        self.ctx: dict = ctx if ctx is not None else {}
+        self.pkt_id = next(_packet_ids)
 
     # ------------------------------------------------------------------ size
 
@@ -142,6 +181,37 @@ class Packet:
             f"<Packet #{self.pkt_id} {self.kind.value} {self.src}->{dst} "
             f"len={self.payload_len} imm={self.imm}>"
         )
+
+
+class PacketTrain:
+    """A back-to-back run of same-flow packets moved as one queue event.
+
+    ``arrivals[i]`` is the exact per-packet delivery instant the per-packet
+    slow path would have produced; receivers replay them via a chained
+    delivery (one pending event per train, never one per packet), so CQE
+    timestamps and RNR decisions are identical to per-packet simulation.
+    ``next_idx`` is the receiver-side replay cursor.
+    """
+
+    __slots__ = ("packets", "arrivals", "next_idx")
+
+    def __init__(self, packets: List[Packet], arrivals: Sequence[float]) -> None:
+        self.packets = packets
+        self.arrivals = arrivals
+        self.next_idx = 0
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def clone_for_fanout(self) -> "PacketTrain":
+        """Replicate for one multicast egress; arrival times are shared
+        (read-only), packet clones share payload views."""
+        return PacketTrain(
+            [p.clone_for_fanout() for p in self.packets], self.arrivals
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PacketTrain n={len(self.packets)} t0={self.arrivals[0]:.9f}>"
 
 
 def mcast_dst(gid: int) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.net.link import Channel
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketTrain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -63,7 +63,7 @@ class Switch:
         """Entry point called by the delivering channel."""
         in_port = in_channel.src_name if in_channel is not None else None
         if self.forwarding_delay > 0.0:
-            self.sim.call_later(self.forwarding_delay, self._forward, packet, in_port)
+            self.sim.post_later(self.forwarding_delay, self._forward, packet, in_port)
         else:
             self._forward(packet, in_port)
 
@@ -88,6 +88,51 @@ class Switch:
                 return
             self.ports[neighbor].transmit(packet)
             self.packets_forwarded += 1
+
+    # ------------------------------------------------------------- fast path
+
+    def receive_train(self, train: PacketTrain, in_channel: Optional[Channel]) -> None:
+        """Relay a coalesced train: one forwarding-delay event for the whole
+        run instead of one per packet (entry point for train deliveries)."""
+        in_port = in_channel.src_name if in_channel is not None else None
+        if self.forwarding_delay > 0.0:
+            self.sim.post_later(self.forwarding_delay, self._forward_train, train, in_port)
+        else:
+            self._forward_train(train, in_port)
+
+    def _forward_train(self, train: PacketTrain, in_port: Optional[str]) -> None:
+        pkts = train.packets
+        first = pkts[0]
+        if self.inc_handler is not None and first.kind.name == "INC_REDUCE":
+            # INC traffic never rides trains (sent per-packet by the tree
+            # logic); fan back out defensively if one ever shows up.
+            for p in pkts:
+                self._forward(p, in_port)
+            return
+        d = self.forwarding_delay
+        # Per-packet injection instants downstream: each packet would have
+        # been forwarded ``d`` after its own arrival here.  ``a + d`` is the
+        # same float expression the per-packet call_later path evaluates.
+        inj = [a + d for a in train.arrivals] if d > 0.0 else train.arrivals
+        n = len(pkts)
+        if first.is_multicast:
+            tree_ports = self.mcast_table.get(first.mcast_gid)
+            if tree_ports is None:
+                self.packets_dropped_no_route += n
+                return
+            for neighbor in sorted(tree_ports):
+                if neighbor == in_port:
+                    continue
+                clone = [p.clone_for_fanout() for p in pkts]
+                self.ports[neighbor].transmit_train(clone, injections=inj)
+                self.packets_forwarded += n
+        else:
+            neighbor = self.unicast_table.get(first.dst)
+            if neighbor is None:
+                self.packets_dropped_no_route += n
+                return
+            self.ports[neighbor].transmit_train(pkts, injections=inj)
+            self.packets_forwarded += n
 
     # -------------------------------------------------------------- counters
 

@@ -12,12 +12,21 @@ Two events scheduled for the same instant fire in the order they were
 number in the heap entries.  Model code must route all randomness through
 :class:`repro.sim.random.RandomStreams`; given the same seed, a simulation
 is bit-for-bit reproducible.
+
+Hot path
+--------
+The run loop is the innermost loop of every experiment: one iteration per
+simulated packet/CQE/timeout.  It therefore avoids attribute lookups
+(local bindings for the heap and clock), uses a plain integer sequence
+counter, and offers :meth:`Simulator.post_at` — a bare callback record
+(:class:`_Callback`, two slots, no Event/lambda allocation) for internal
+model plumbing that nobody ever waits on (packet delivery, DMA
+completion, CQE pushes).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout
@@ -28,6 +37,46 @@ __all__ = ["Simulator", "SimulationError"]
 class SimulationError(RuntimeError):
     """Raised for structural simulation errors (negative delays, running a
     finished simulator, an unhandled failure propagating out of a process)."""
+
+
+class _Callback:
+    """A bare scheduled call: the cheapest thing the queue can hold.
+
+    Quacks like an Event only as far as the run loop cares (``_fire``);
+    it cannot be waited on — use :meth:`Simulator.call_at` for that.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self.fn = fn
+        self.args = args
+
+    def _fire(self) -> None:
+        self.fn(*self.args)
+
+
+class _ScheduledCall(Event):
+    """Event backing :meth:`Simulator.call_at`.
+
+    Unlike a plain Event it is pushed on the queue *untriggered* and
+    flips ``triggered``/``ok`` only when its instant arrives — so waiters
+    (``yield``, :meth:`Simulator.drain`, ``AnyOf``) observe the correct
+    state while the call is still pending.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        Event.__init__(self, sim)
+        self.fn = fn
+        self.args = args
+
+    def _fire(self) -> None:
+        self._triggered = True
+        self._ok = True
+        self.fn(*self.args)
+        Event._fire(self)
 
 
 class Simulator:
@@ -55,9 +104,9 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now: float = float(start_time)
-        self._seq = itertools.count()
+        self._seq: int = 0
         # Heap of (time, seq, event).  `seq` breaks ties deterministically.
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, Any]] = []
         self._running = False
         self._processes: "List[Any]" = []  # live Process objects (for debugging)
         self.events_processed: int = 0
@@ -79,19 +128,41 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, event))
         return event
 
-    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Invoke ``fn(*args)`` at absolute virtual time ``when``."""
+    def post_at(self, when: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Invoke ``fn(*args)`` at absolute time ``when`` — fire-and-forget.
+
+        The cheap sibling of :meth:`call_at`: schedules a bare callback
+        record instead of an Event, so there is nothing to wait on.  Model
+        internals (packet delivery, CQE pushes, DMA completions) use this.
+        """
         if when < self._now:
             raise SimulationError(f"cannot schedule at {when} < now {self._now}")
-        ev = Event(self)
-        ev.callbacks.append(lambda _ev: fn(*args))
-        heapq.heappush(self._queue, (when, next(self._seq), ev))
-        ev._value = None
-        ev._ok = True
-        ev._triggered = True
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (when, seq, _Callback(fn, args)))
+
+    def post_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Invoke ``fn(*args)`` after ``delay`` seconds — fire-and-forget."""
+        when = self._now + delay
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (when, seq, _Callback(fn, args)))
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Invoke ``fn(*args)`` at absolute virtual time ``when``.
+
+        Returns a waitable event that triggers when the call actually
+        runs (not at schedule time).
+        """
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        ev = _ScheduledCall(self, fn, args)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (when, seq, ev))
         return ev
 
     def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -147,17 +218,30 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self._now = until
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                self.step()
-                processed += 1
+            if until is None and max_events is None:
+                # The common full-drain case, with zero per-iteration checks.
+                while queue:
+                    entry = heappop(queue)
+                    self._now = entry[0]
+                    processed += 1
+                    entry[2]._fire()
+            else:
+                while queue:
+                    if until is not None and queue[0][0] > until:
+                        self._now = until
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    entry = heappop(queue)
+                    self._now = entry[0]
+                    processed += 1
+                    entry[2]._fire()
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and not self._queue and self._now < until:
             self._now = until
         return self._now
@@ -181,15 +265,41 @@ class Simulator:
         return proc.value
 
     def drain(self, events: Iterable[Event], until: Optional[float] = None) -> None:
-        """Run until every event in *events* has triggered."""
-        pending = [ev for ev in events if not ev.triggered]
-        while pending:
-            if not self._queue:
-                raise SimulationError(
-                    f"simulation drained at t={self._now} with {len(pending)} "
-                    "events still pending"
-                )
-            if until is not None and self._queue[0][0] > until:
-                raise SimulationError(f"horizon {until} reached with events pending")
-            self.step()
-            pending = [ev for ev in pending if not ev.triggered]
+        """Run until every event in *events* has triggered.
+
+        Completion is tracked with a per-event callback and a counter —
+        O(events + steps) instead of re-filtering the whole list after
+        every step.
+        """
+        remaining = 0
+        fired = [0]
+
+        def _one_done(ev: Event) -> None:
+            fired[0] += 1
+            if ev._ok is False and not ev._defused:
+                # Nobody else handled the failure; surface it like the
+                # bare `_fire` of an unwaited event would.
+                raise ev._value
+
+        for ev in events:
+            if not ev.triggered:
+                remaining += 1
+                ev.subscribe(_one_done)
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while fired[0] < remaining:
+                if not queue:
+                    raise SimulationError(
+                        f"simulation drained at t={self._now} with "
+                        f"{remaining - fired[0]} events still pending"
+                    )
+                if until is not None and queue[0][0] > until:
+                    raise SimulationError(f"horizon {until} reached with events pending")
+                entry = heappop(queue)
+                self._now = entry[0]
+                processed += 1
+                entry[2]._fire()
+        finally:
+            self.events_processed += processed

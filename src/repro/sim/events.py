@@ -124,11 +124,7 @@ class Event:
         if self.callbacks is not None:
             self.callbacks.append(callback)
         else:
-            bounce = Event(self.sim)
-            bounce.callbacks.append(lambda _ev: callback(self))
-            bounce._triggered = True
-            bounce._ok = True
-            self.sim.schedule(bounce, 0.0)
+            self.sim.post_later(0.0, callback, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._fired else ("triggered" if self._triggered else "pending")

@@ -39,13 +39,9 @@ class Process(Event):
         #: or finished).
         self._target: Optional[Event] = None
         self._resume_cb = self._on_target_fired
-        # Kick off at the current instant through a zero-delay event so that
-        # spawn order == first-execution order (deterministic).
-        start = Event(sim)
-        start.callbacks.append(lambda _ev: self._resume(None, ok=True))
-        start._triggered = True
-        start._ok = True
-        sim.schedule(start, 0.0)
+        # Kick off at the current instant through a zero-delay callback so
+        # that spawn order == first-execution order (deterministic).
+        sim.post_later(0.0, self._resume, None, True)
 
     # ----------------------------------------------------------------- state
 

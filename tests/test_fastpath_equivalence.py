@@ -1,0 +1,174 @@
+"""Proof of equivalence for the packet-train fast path.
+
+Every scenario here is executed twice — once with channel coalescing
+enabled (the default fast path) and once forced to per-packet mode — and
+the two runs must agree *exactly*: completion times, per-rank phase
+timestamps, per-channel byte/packet/drop counters, switch forwarding
+counters, the reliability summary, and the received payloads.  Any float
+divergence, however small, is a bug in the fast path (see DESIGN.md
+§"Simulator fast path").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.communicator import CollectiveConfig, Communicator
+from repro.net.fabric import Fabric
+from repro.net.faults import GilbertElliott
+from repro.net.link import FaultSpec
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import KiB, gbit_per_s
+
+P = 16
+NBYTES = 64 * KiB
+
+
+def _make_comm(seed: int, coalescing: bool, fault_factory=None,
+               transport: str = "ud") -> Communicator:
+    sim = Simulator()
+    fabric = Fabric(
+        sim,
+        Topology.leaf_spine(P, 2, 2),
+        link_bandwidth=gbit_per_s(56),
+        streams=RandomStreams(seed),
+        coalescing=coalescing,
+    )
+    if fault_factory is not None:
+        fabric.set_fault_all(fault_factory)
+    return Communicator(
+        fabric, config=CollectiveConfig(chunk_size=4096, transport=transport)
+    )
+
+
+def _channel_counters(fabric: Fabric) -> Dict[Tuple[str, str], Tuple[int, ...]]:
+    return {
+        key: (ch.bytes_sent, ch.payload_bytes_sent, ch.packets_sent,
+              ch.bytes_dropped, ch.packets_dropped)
+        for key, ch in fabric.channels.items()
+    }
+
+
+def _switch_counters(fabric: Fabric) -> Dict[str, Tuple[int, int]]:
+    return {
+        name: (sw.packets_forwarded, sw.packets_dropped_no_route)
+        for name, sw in fabric.switches.items()
+    }
+
+
+def _run(kind: str, seed: int, coalescing: bool, fault_factory=None,
+         transport: str = "ud"):
+    comm = _make_comm(seed, coalescing, fault_factory, transport)
+    rng = np.random.default_rng(seed)
+    if kind == "broadcast":
+        data = rng.integers(0, 256, NBYTES, dtype=np.uint8)
+        res = comm.broadcast(0, data)
+        assert res.verify_broadcast(data)
+    else:
+        # 4 chunks per rank so senders have multi-packet runs to coalesce.
+        data = [rng.integers(0, 256, 16 * KiB, dtype=np.uint8)
+                for _ in range(P)]
+        res = comm.allgather(data)
+        assert res.verify_allgather(data)
+    return comm, res
+
+
+def _assert_equivalent(kind: str, seed: int, fault_factory=None,
+                       transport: str = "ud",
+                       expect_trains: bool = True) -> None:
+    comm_fast, res_fast = _run(kind, seed, True, fault_factory, transport)
+    comm_slow, res_slow = _run(kind, seed, False, fault_factory, transport)
+
+    # Virtual-time agreement must be exact, not approximate.
+    assert res_fast.t_begin == res_slow.t_begin
+    assert res_fast.t_end == res_slow.t_end
+    assert res_fast.duration == res_slow.duration
+    for rf, rs in zip(res_fast.ranks, res_slow.ranks):
+        assert rf.phases == rs.phases, f"rank {rf.rank} phase timestamps differ"
+
+    # Byte-exact telemetry on every port and switch.
+    assert _channel_counters(comm_fast.fabric) == _channel_counters(comm_slow.fabric)
+    assert _switch_counters(comm_fast.fabric) == _switch_counters(comm_slow.fabric)
+    assert res_fast.traffic == res_slow.traffic
+
+    # Slow-path bookkeeping (recoveries, fetch rounds, retries) agrees too.
+    assert res_fast.reliability_summary() == res_slow.reliability_summary()
+
+    # Payloads byte-identical.
+    for bf, bs in zip(res_fast.buffers, res_slow.buffers):
+        assert np.array_equal(bf, bs)
+
+    if expect_trains:
+        assert res_fast.engine["trains"] > 0, "fast path never engaged"
+    else:
+        assert res_fast.engine["trains"] == 0, (
+            "fast path must stay off while a live fault schedule exists"
+        )
+    assert res_slow.engine["trains"] == 0
+
+
+def _lossy(s: str, d: str) -> FaultSpec:
+    return FaultSpec(gilbert_elliott=GilbertElliott(
+        p_good_bad=0.02, p_bad_good=0.3, drop_good=0.002, drop_bad=0.15))
+
+
+def _reordered(s: str, d: str) -> FaultSpec:
+    return FaultSpec(reorder_jitter=3e-6)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_clean_equivalence(kind: str, seed: int) -> None:
+    _assert_equivalent(kind, seed)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_lossy_equivalence(kind: str, seed: int) -> None:
+    # Live drop machinery forces the per-packet slow path on every channel,
+    # so both runs literally execute the same code — the assertion proves
+    # the fast-path *gate* (not just the arithmetic) is correct.
+    _assert_equivalent(kind, seed, fault_factory=_lossy, expect_trains=False)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_reordered_equivalence(kind: str, seed: int) -> None:
+    _assert_equivalent(kind, seed, fault_factory=_reordered,
+                       expect_trains=False)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_uc_transport_equivalence(seed: int) -> None:
+    _assert_equivalent("broadcast", seed, transport="uc")
+
+
+def test_past_fault_windows_allow_coalescing() -> None:
+    """A fault spec whose windows are entirely in the past is inert: the
+    fast path re-engages and still matches per-packet results exactly."""
+    def stale(s: str, d: str) -> FaultSpec:
+        return FaultSpec(flap_windows=[(0.0, 1e-9)])
+
+    # The collective starts at t=0, so the window is still live at first
+    # transmissions; channels coalesce only after it expires.  Results
+    # must agree regardless of the mid-run switchover.
+    _assert_equivalent("broadcast", 0, fault_factory=stale,
+                       expect_trains=True)
+
+
+def test_coalescing_toggle_mid_simulation() -> None:
+    """set_coalescing() flips every channel and is honored immediately."""
+    comm = _make_comm(0, True)
+    comm.fabric.set_coalescing(False)
+    assert all(not ch.coalescing for ch in comm.fabric.channels.values())
+    data = np.arange(NBYTES, dtype=np.uint8) % 251
+    res = comm.broadcast(0, data)
+    assert res.engine["trains"] == 0
+    comm.fabric.set_coalescing(True)
+    res2 = comm.broadcast(0, data)
+    assert res2.engine["trains"] > 0

@@ -1,0 +1,63 @@
+"""Perf-regression gate wired into pytest via the ``perf`` marker.
+
+Two layers of protection:
+
+* ``test_event_counts_match_baseline`` (always on) — re-runs the cheap
+  speedometer scenarios and asserts their *deterministic* outputs (event
+  counts, virtual time) still match the committed baseline exactly.  A
+  mismatch means a semantic change to the simulator, not noise.
+* ``test_speedometer_wall_clock_gate`` (``-m perf``, needs RUN_PERF=1) —
+  the full calibration-normalized wall-clock check, the same gate the CI
+  speedometer job runs via ``bench_speedometer.py --check``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "benchmarks" / "results" / "speedometer_baseline.json"
+
+
+def _load_speedometer():
+    spec = importlib.util.spec_from_file_location(
+        "bench_speedometer", ROOT / "benchmarks" / "bench_speedometer.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_event_counts_match_baseline():
+    speedo = _load_speedometer()
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+    # The cheap scenarios only — the fine-grained 188-node run is the CI
+    # perf job's business, not tier-1's.
+    for name in ("ag16", "fsdp"):
+        base = baseline["scenarios"][name]
+        cur = speedo.SCENARIOS[name](coalescing=True)
+        assert cur["events"] == base["events"], (
+            f"{name}: simulator event count drifted from the committed "
+            f"baseline ({base['events']} -> {cur['events']}); if the "
+            "change is intentional, regenerate speedometer_baseline.json"
+        )
+        assert cur["virtual_s"] == base["virtual_s"], (
+            f"{name}: virtual completion time drifted from the baseline"
+        )
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    not os.environ.get("RUN_PERF"),
+    reason="wall-clock gate only meaningful on a quiet machine (set RUN_PERF=1)",
+)
+def test_speedometer_wall_clock_gate():
+    speedo = _load_speedometer()
+    results = speedo.run_all(coalescing=True)
+    assert speedo.check(results, str(BASELINE), tolerance=0.25) == 0

@@ -48,6 +48,33 @@ def test_bitmap_matches_set_model(n_bits, ops):
 
 
 @FAST
+@given(
+    n_bits=st.integers(1, 500),
+    ranges=st.lists(
+        st.tuples(st.integers(0, 499), st.integers(0, 160)), max_size=20
+    ),
+)
+def test_bitmap_set_range_matches_set_model(n_bits, ranges):
+    bm = Bitmap(n_bits)
+    model = set()
+    for start, count in ranges:
+        start %= n_bits
+        count = min(count, n_bits - start)
+        newly = bm.set_range(start, count)
+        added = set(range(start, start + count)) - model
+        assert newly == len(added)
+        model |= added
+    assert bm.count == len(model)
+    assert bm.missing() == sorted(set(range(n_bits)) - model)
+    # Word-granular paths (partial first/last word, full middle words) must
+    # agree with bit-at-a-time setting.
+    reference = Bitmap(n_bits)
+    for i in sorted(model):
+        reference.set(i)
+    assert bm.missing_runs() == reference.missing_runs()
+
+
+@FAST
 @given(n_bits=st.integers(1, 300), seed=st.integers(0, 1000))
 def test_bitmap_missing_runs_reconstruct_missing(n_bits, seed):
     rng = np.random.default_rng(seed)

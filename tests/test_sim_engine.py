@@ -340,3 +340,87 @@ def test_events_processed_counter():
         sim.call_later(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 4
+
+
+# ------------------------------------------------- fast-path regressions
+
+
+def test_call_at_event_not_triggered_until_fire():
+    """Regression: call_at used to mark its event triggered/ok at
+    *schedule* time, so waiting on the returned handle resumed a process
+    immediately instead of at the scheduled instant."""
+    sim = Simulator()
+    fired = []
+    handle = sim.call_at(2.0, fired.append, "x")
+    assert not handle.triggered
+    assert not handle.ok
+    sim.run(until=1.0)
+    assert not handle.triggered and fired == []
+    sim.run()
+    assert handle.triggered and handle.ok
+    assert fired == ["x"]
+    assert sim.now == 2.0
+
+
+def test_process_can_wait_on_call_at_handle():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.call_at(3.0, log.append, "cb")
+        log.append(("resumed", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == ["cb", ("resumed", 3.0)]
+
+
+def test_post_later_fire_and_forget():
+    sim = Simulator()
+    order = []
+    sim.post_later(2.0, order.append, "b")
+    sim.post_later(1.0, order.append, "a")
+    sim.post_at(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.events_processed == 3
+
+
+def test_drain_many_events():
+    """Regression: drain() re-filtered the full event list on every engine
+    step (quadratic); it now subscribes completion callbacks and must
+    handle thousands of events quickly and exactly."""
+    sim = Simulator()
+    events = []
+    for i in range(10_000):
+        ev = Event(sim)
+        sim.call_later(float(i % 97) * 1e-6, ev.succeed)
+        events.append(ev)
+    sim.drain(events)
+    assert all(ev.triggered and ev.ok for ev in events)
+    assert sim.now == 96e-6
+
+
+def test_drain_mixed_already_fired():
+    sim = Simulator()
+    done = Event(sim)
+    done.succeed()
+    pending = Event(sim)
+    sim.call_later(1.0, pending.succeed)
+    sim.drain([done, pending])
+    assert pending.triggered
+
+
+def test_drain_raises_on_unhandled_failure():
+    sim = Simulator()
+    ev = Event(sim)
+    sim.call_later(1.0, ev.fail, RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.drain([ev])
+
+
+def test_drain_reports_stall():
+    sim = Simulator()
+    never = Event(sim)
+    with pytest.raises(SimulationError, match="drained"):
+        sim.drain([never])

@@ -28,11 +28,13 @@ Quickstart
 
 from repro.core.communicator import (
     CollectiveConfig,
+    CollectiveKind,
     CollectiveResult,
     Communicator,
     OpHandle,
     PhaseBreakdown,
     RankStats,
+    ReduceScatterHandle,
 )
 from repro.core.costmodel import HostCostModel
 from repro.core.reliability import CutoffEstimator, ReliabilityError
@@ -40,6 +42,7 @@ from repro.net.fabric import Fabric
 from repro.net.faults import GilbertElliott, StragglerSpec, Window
 from repro.net.link import FaultSpec
 from repro.net.topology import Topology, TopologySpec
+from repro.obs import TraceConfig, Tracer, TraceView
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
@@ -47,6 +50,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CollectiveConfig",
+    "CollectiveKind",
     "CollectiveResult",
     "Communicator",
     "CutoffEstimator",
@@ -58,11 +62,15 @@ __all__ = [
     "PhaseBreakdown",
     "RandomStreams",
     "RankStats",
+    "ReduceScatterHandle",
     "ReliabilityError",
     "Simulator",
     "StragglerSpec",
     "Topology",
     "TopologySpec",
+    "TraceConfig",
+    "Tracer",
+    "TraceView",
     "Window",
     "__version__",
 ]

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.baselines.base import BaselineResult, P2PNet, run_baseline
+from repro.core.baselines.base import P2PNet, run_baseline
 from repro.core.costmodel import HostCostModel
 from repro.net.fabric import Fabric
 from repro.net.nic import RecvWR, Transport
@@ -67,10 +67,19 @@ def ring_reduce_scatter(
         buffers.append(buf)
         f32_views.append(f32)
     if p == 1:
-        res = run_baseline(fabric, "ring_reduce_scatter", "reduce_scatter",
-                           net.hosts, shard_bytes, buffers, [_noop(net)])
-        res.buffers = [f32_views[0][:shard].copy()]
-        return res
+        # Honor defer like the p >= 2 path: a deferred single-rank RS must
+        # still hand back a PendingBaseline (the Communicator wrapper
+        # relies on it), and finishing immediately stays bit-identical.
+        pending = run_baseline(fabric, "ring_reduce_scatter", "reduce_scatter",
+                               net.hosts, shard_bytes, buffers, [_noop(net)],
+                               defer=True)
+
+        def _expose_single(res):
+            res.buffers = [f32_views[0][:shard].copy()]
+            return res
+
+        pending.postprocess = _expose_single
+        return pending if defer else pending.finish()
     scratch_off = p * shard_bytes
 
     def rank_proc(r: int):

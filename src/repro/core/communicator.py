@@ -20,9 +20,10 @@ Example
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,16 +35,37 @@ from repro.core.sequencer import BroadcastSequencer
 from repro.core.subgroups import SubgroupPlan
 from repro.net.fabric import Fabric
 from repro.net.nic import QueuePair, Transport
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceConfig, Tracer, TraceView
 from repro.sim.events import AllOf
 
 __all__ = [
     "CollectiveConfig",
+    "CollectiveKind",
     "Communicator",
     "OpHandle",
+    "ReduceScatterHandle",
     "PhaseBreakdown",
     "RankStats",
     "CollectiveResult",
 ]
+
+
+class CollectiveKind(str, enum.Enum):
+    """The collectives a :class:`Communicator` can run.
+
+    A ``str`` subclass so existing ``result.kind == "allgather"``
+    comparisons keep working, while payload accounting dispatches on the
+    enum and **raises** on unknown kinds instead of silently falling back
+    to broadcast math.
+    """
+
+    BROADCAST = "broadcast"
+    ALLGATHER = "allgather"
+    REDUCE_SCATTER = "reduce_scatter"
+
+    def __str__(self) -> str:  # "broadcast", not "CollectiveKind.BROADCAST"
+        return self.value
 
 
 @dataclass
@@ -160,7 +182,7 @@ class RankStats:
 class CollectiveResult:
     """Outcome of one collective across all ranks."""
 
-    kind: str
+    kind: str  #: a :class:`CollectiveKind` (str-valued for compatibility)
     comm_size: int
     send_bytes: int  #: per-rank contribution (bcast: buffer size)
     chunk_size: int
@@ -173,6 +195,9 @@ class CollectiveResult:
     #: simulator engine telemetry for this collective: events processed,
     #: coalesced trains and train packets (fast-path coverage)
     engine: Dict[str, int] = field(default_factory=dict)
+    #: trace snapshot clipped to this collective's window, when the
+    #: communicator was built with ``trace=TraceConfig(...)``
+    trace: Optional[TraceView] = None
 
     @property
     def duration(self) -> float:
@@ -180,23 +205,32 @@ class CollectiveResult:
 
     @property
     def recv_bytes_per_rank(self) -> int:
-        if self.kind == "allgather":
+        kind = CollectiveKind(self.kind)  # raises ValueError on unknown
+        if kind is CollectiveKind.ALLGATHER:
             return self.send_bytes * (self.comm_size - 1)
-        return self.send_bytes  # broadcast leaf
+        if kind is CollectiveKind.BROADCAST:
+            return self.send_bytes  # broadcast leaf
+        if kind is CollectiveKind.REDUCE_SCATTER:
+            return self.send_bytes // self.comm_size  # one reduced shard
+        raise ValueError(f"no payload accounting for kind {kind!r}")
 
     @property
     def throughput(self) -> float:
         """Per-process receive throughput in bytes/s (paper Fig 11 metric:
         collective payload over completion time)."""
-        total = (
-            self.send_bytes * self.comm_size
-            if self.kind == "allgather"
-            else self.send_bytes
-        )
+        kind = CollectiveKind(self.kind)  # raises ValueError on unknown
+        if kind is CollectiveKind.BROADCAST:
+            total = self.send_bytes
+        elif kind in (CollectiveKind.ALLGATHER, CollectiveKind.REDUCE_SCATTER):
+            total = self.send_bytes * self.comm_size
+        else:
+            raise ValueError(f"no payload accounting for kind {kind!r}")
         return total / self.duration if self.duration > 0 else float("inf")
 
     def phase_means(self) -> PhaseBreakdown:
         n = len(self.ranks)
+        if n == 0:
+            return PhaseBreakdown(sync=0.0, multicast=0.0, handshake=0.0, total=0.0)
         return PhaseBreakdown(
             sync=sum(r.breakdown.sync for r in self.ranks) / n,
             multicast=sum(r.breakdown.multicast for r in self.ranks) / n,
@@ -235,14 +269,31 @@ class CollectiveResult:
         expected = np.ascontiguousarray(data).view(np.uint8).ravel()
         return all(np.array_equal(buf, expected) for buf in self.buffers)
 
+    def verify_reduce_scatter(self, send_data: Sequence[np.ndarray],
+                              rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        """True when each rank holds its reduced float32 shard (within
+        floating-point accumulation-order tolerance)."""
+        arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1)
+                  for d in send_data]
+        total = arrays[0].copy()
+        for a in arrays[1:]:
+            total += a
+        shard = total.size // self.comm_size
+        return all(
+            np.allclose(self.buffers[r], total[r * shard:(r + 1) * shard],
+                        rtol=rtol, atol=atol)
+            for r in range(self.comm_size)
+        )
+
 
 class OpHandle:
     """An in-flight collective: per-rank op states + an all-done event."""
 
-    def __init__(self, comm: "Communicator", kind: str, coll_id: int,
-                 ops: List[OpState], buffers: List[np.ndarray], send_bytes: int):
+    def __init__(self, comm: "Communicator", kind: Union[str, CollectiveKind],
+                 coll_id: int, ops: List[OpState], buffers: List[np.ndarray],
+                 send_bytes: int):
         self.comm = comm
-        self.kind = kind
+        self.kind = CollectiveKind(kind)
         self.coll_id = coll_id
         self.ops = ops
         self.buffers = buffers
@@ -253,6 +304,11 @@ class OpHandle:
     @property
     def complete(self) -> bool:
         return self.done.triggered
+
+    @property
+    def wait_events(self) -> List:
+        """The events :meth:`Communicator.run` must drain for this handle."""
+        return [self.done]
 
     def result(self, traffic: Optional[Dict[str, int]] = None,
                engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
@@ -276,6 +332,7 @@ class OpHandle:
             )
         t_begin = min(op.phases["start"] for op in self.ops)
         t_end = max(op.phases["final"] for op in self.ops)
+        tracer = self.comm.tracer
         return CollectiveResult(
             kind=self.kind,
             comm_size=self.comm.size,
@@ -288,6 +345,81 @@ class OpHandle:
             buffers=self.buffers,
             traffic=traffic or {},
             engine=engine or {},
+            trace=tracer.view(t_begin, t_end) if tracer is not None else None,
+        )
+
+
+class ReduceScatterHandle:
+    """An in-flight Reduce-Scatter, adapted from the baseline substrate.
+
+    Quacks like :class:`OpHandle` (``complete`` / ``wait_events`` /
+    ``result()``) so Reduce-Scatter rides the one Communicator surface —
+    including mixed waits like ``comm.run(ag_handle, rs_handle)`` for the
+    FSDP {AG, RS} pair.  ``wait_events`` exposes the underlying rank
+    processes directly (a :class:`~repro.sim.process.Process` *is* an
+    Event), deliberately not wrapping them in an ``AllOf``: resolution of
+    an AllOf schedules one extra simulator event, which would perturb the
+    exact event counts the speedometer perf gate pins.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, comm: "Communicator", pending) -> None:
+        self.comm = comm
+        self.kind = CollectiveKind.REDUCE_SCATTER
+        # Negative ids: disjoint from the engines' immediate-data coll_id
+        # space, so an active RS never blocks _next_coll_id reuse.
+        self.coll_id = -next(ReduceScatterHandle._ids)
+        self.pending = pending
+        self.send_bytes = pending.send_bytes
+        self.t_submit = comm.sim.now
+        self._base = None
+
+    @property
+    def complete(self) -> bool:
+        return self.pending.complete
+
+    @property
+    def wait_events(self) -> List:
+        return list(self.pending.procs)
+
+    def result(self, traffic: Optional[Dict[str, int]] = None,
+               engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
+        if not self.complete:
+            raise RuntimeError("collective has not completed")
+        if self._base is None:
+            # finish() is a no-op drain here (everything already
+            # triggered); it materializes buffers + telemetry exactly as
+            # the standalone baseline path does — bit-identical payloads.
+            self._base = self.pending.finish()
+        base = self._base
+        ranks = []
+        for r, t in enumerate(base.rank_times):
+            elapsed = t - base.t_begin
+            ranks.append(
+                RankStats(
+                    r,
+                    {"start": base.t_begin, "final": t},
+                    PhaseBreakdown(sync=0.0, multicast=elapsed,
+                                   handshake=0.0, total=elapsed),
+                    {},
+                )
+            )
+        tracer = self.comm.tracer
+        return CollectiveResult(
+            kind=self.kind,
+            comm_size=base.comm_size,
+            send_bytes=base.send_bytes,
+            chunk_size=self.comm.config.chunk_size,
+            transport="rc",
+            t_begin=base.t_begin,
+            t_end=base.t_end,
+            ranks=ranks,
+            buffers=base.buffers,
+            traffic=dict(base.traffic) if traffic is None else traffic,
+            engine=engine or {},
+            trace=(tracer.view(base.t_begin, base.t_end)
+                   if tracer is not None else None),
         )
 
 
@@ -299,6 +431,7 @@ class Communicator:
         fabric: Fabric,
         hosts: Optional[Sequence[int]] = None,
         config: Optional[CollectiveConfig] = None,
+        trace: Optional[TraceConfig] = None,
     ) -> None:
         self.fabric = fabric
         self.sim = fabric.sim
@@ -308,6 +441,12 @@ class Communicator:
         self.size = len(self.hosts)
         self.config = config or CollectiveConfig()
         self.config.validate(fabric)
+        # Observability plane (DESIGN.md §8): build + install the tracer
+        # before the engines so each RankEngine picks up its rank track.
+        self.tracer: Optional[Tracer] = None
+        if trace is not None and trace.enabled and obs_trace.ENABLED:
+            self.tracer = Tracer(trace)
+            fabric.install_tracer(self.tracer)
         self.imm = ImmLayout(self.config.psn_bits)
         # Replicated multicast groups — the subgroups of §IV-C.
         self.mcast_gids: List[int] = (
@@ -320,7 +459,8 @@ class Communicator:
         for r in range(self.size):
             self.engines.append(RankEngine(self, r))
         self._coll_ids = itertools.count(0)
-        self._active: Dict[int, OpHandle] = {}
+        #: in-flight handles by coll_id (engine ids >= 0, RS handles < 0)
+        self._active: Dict[int, Union[OpHandle, ReduceScatterHandle]] = {}
 
     # ------------------------------------------------------------- plumbing
 
@@ -454,17 +594,69 @@ class Communicator:
         self._active[cid] = handle
         return handle
 
+    # -------------------------------------------------------- reduce-scatter
+
+    def reduce_scatter_async(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str = "inc",
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> ReduceScatterHandle:
+        """Start a Reduce-Scatter; ``send_data[r]`` is rank *r*'s float32
+        contribution and rank *r* ends up with reduced shard *r*.
+
+        ``algorithm`` picks the substrate: ``"inc"`` (in-network compute,
+        paper Fig 3 — the FSDP companion of multicast Allgather) or
+        ``"ring"``.  ``cost`` defaults to the baseline
+        :class:`HostCostModel` (RS runs on the RC P2P datapath, not this
+        communicator's multicast engine, so its cost model is independent).
+        """
+        from repro.core.baselines.reduce import (
+            inc_reduce_scatter,
+            ring_reduce_scatter,
+        )
+
+        if algorithm == "inc":
+            pending = inc_reduce_scatter(
+                self.fabric, send_data, self.hosts, cost,
+                segment_bytes=segment_bytes, defer=True,
+            )
+        elif algorithm == "ring":
+            pending = ring_reduce_scatter(
+                self.fabric, send_data, self.hosts, cost, defer=True,
+            )
+        else:
+            raise ValueError(f"unknown reduce-scatter algorithm {algorithm!r}")
+        handle = ReduceScatterHandle(self, pending)
+        self._active[handle.coll_id] = handle
+        return handle
+
+    def reduce_scatter(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str = "inc",
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> CollectiveResult:
+        """Reduce-Scatter; runs the simulation to completion."""
+        return self._run_sync(
+            self.reduce_scatter_async(send_data, algorithm=algorithm,
+                                      cost=cost, segment_bytes=segment_bytes)
+        )
+
     # ------------------------------------------------------------ execution
 
-    def run(self, *handles: OpHandle) -> None:
+    def run(self, *handles: Union[OpHandle, ReduceScatterHandle]) -> None:
         """Advance the simulation until every handle completes."""
         targets = handles or tuple(self._active.values())
-        self.sim.drain([h.done for h in targets])
+        self.sim.drain([ev for h in targets for ev in h.wait_events])
 
-    def release(self, handle: OpHandle) -> None:
+    def release(self, handle: Union[OpHandle, ReduceScatterHandle]) -> None:
         """Free the op's registered buffers and id (after completion)."""
-        for engine in self.engines:
-            engine.release_op(handle.coll_id)
+        if handle.coll_id >= 0:  # RS handles own no engine-side state
+            for engine in self.engines:
+                engine.release_op(handle.coll_id)
         self._active.pop(handle.coll_id, None)
 
     def _snapshot(self) -> Dict[str, int]:
@@ -483,7 +675,7 @@ class Communicator:
             "train_packets": self.fabric.total_train_packets(),
         }
 
-    def _run_sync(self, handle: OpHandle) -> CollectiveResult:
+    def _run_sync(self, handle: Union[OpHandle, ReduceScatterHandle]) -> CollectiveResult:
         before = self._snapshot()
         eng_before = self._engine_snapshot()
         self.run(handle)

@@ -61,6 +61,12 @@ class RankEngine:
         self.imm: ImmLayout = comm.imm
         self.dma = DmaEngine(self.sim)
         self.ops: Dict[int, OpState] = {}
+        # Observability: this rank's track, or None when tracing is off.
+        # Every tracepoint below guards on the local None check; recording
+        # never schedules events, so traced and untraced runs are
+        # bit-identical in virtual time and event counts.
+        tracer = getattr(comm, "tracer", None)
+        self.trace = tracer.track("rank", f"r{rank}") if tracer is not None else None
 
         self.ctrl = ControlPlane(
             self.sim,
@@ -177,6 +183,9 @@ class RankEngine:
                     assert staging is not None
                     slot = cqe.wr_id
                     view = staging.on_cqe(slot)
+                    trc = self.trace
+                    if trc is not None:
+                        trc.counter("staging.hold", self.sim.now, staging.held)
                     if op is None or not op.bitmap.set(psn):
                         # Stray or duplicate chunk: recycle without copying.
                         if op is None:
@@ -185,6 +194,8 @@ class RankEngine:
                             op.stats["duplicates"] += 1
                         yield Timeout(self.sim, cost.recv_repost)
                         staging.repost(slot, qp)
+                        if trc is not None:
+                            trc.counter("staging.hold", self.sim.now, staging.held)
                         continue
                     op.stats["chunks_received"] += 1
                     off, ln = op.plan.bounds(psn)
@@ -197,10 +208,17 @@ class RankEngine:
 
     def _make_copy_callback(self, op: OpState, staging: StagingRing, slot: int, qp,
                             psn: int):
+        trc = self.trace
+        issued_at = self.sim.now if trc is not None else 0.0
+
         def _on_copy(_ev) -> None:
             staging.repost(slot, qp)
             op.outstanding_copies -= 1
             op.placed.set(psn)
+            if trc is not None:
+                now = self.sim.now
+                trc.complete("dma.copy", issued_at, now - issued_at)
+                trc.counter("staging.hold", now, staging.held)
             op.maybe_complete()
 
         return _on_copy
@@ -249,12 +267,19 @@ class RankEngine:
                 # consecutive same-destination WRs as a single packet train.
                 self.nic.post_send_batch(items)
                 outstanding += 1
+                trc = self.trace
+                if trc is not None:
+                    trc.counter("nic.outstanding", self.sim.now, outstanding)
                 while outstanding >= cfg.max_outstanding_batches:
                     yield self.send_cq.wait()
                     outstanding -= len(self.send_cq.poll())
+                    if trc is not None:
+                        trc.counter("nic.outstanding", self.sim.now, outstanding)
             while outstanding > 0:
                 yield self.send_cq.wait()
                 outstanding -= len(self.send_cq.poll())
+                if self.trace is not None:
+                    self.trace.counter("nic.outstanding", self.sim.now, outstanding)
         finally:
             self._send_lock.release()
 
@@ -285,6 +310,8 @@ class RankEngine:
           instead of hanging the simulation.
         """
         op.stats["recoveries"] += 1
+        trc = self.trace
+        recovery_t0 = self.sim.now
         me = participants.index(self.rank)
         # Escalation order: the ring-left neighbor first, then progressively
         # farther-left ranks (under the chain schedule those are the ranks
@@ -302,6 +329,9 @@ class RankEngine:
                 peer = order[attempt % len(order)]
                 if attempt > 0 and len(order) > 1:
                     op.stats["neighbor_escalations"] += 1
+                    if trc is not None:
+                        trc.instant("reliability.escalate", self.sim.now,
+                                    {"peer": peer})
                 _progressed, rounds = yield from self._fetch_attempt(
                     op, peer, deadline_abs
                 )
@@ -310,6 +340,10 @@ class RankEngine:
         finally:
             self._recovery_lock.release()
             op.retry_histogram.append(rounds_used)
+            if trc is not None:
+                trc.complete("reliability.recover", recovery_t0,
+                             self.sim.now - recovery_t0,
+                             {"rounds": rounds_used})
 
     def _check_recovery_deadline(self, op: OpState, deadline_abs: float) -> None:
         if self.sim.now < deadline_abs:
@@ -346,6 +380,9 @@ class RankEngine:
             return True, 0
         if not ack.triggered:
             op.stats["fetch_ack_timeouts"] += 1
+            if self.trace is not None:
+                self.trace.instant("reliability.timeout", self.sim.now,
+                                   {"peer": peer})
             self._check_recovery_deadline(op, deadline_abs)
             return False, 0
         qp = self.comm.ensure_ctrl_pair(self.rank, peer)
@@ -359,6 +396,9 @@ class RankEngine:
             self._check_recovery_deadline(op, deadline_abs)
             rounds += 1
             op.stats["fetch_rounds"] += 1
+            if self.trace is not None:
+                self.trace.instant("reliability.fetch", self.sim.now,
+                                   {"peer": peer})
             # Fetch the neighbor's bitmap (modeled as one small RDMA
             # read: RTT + bitmap bytes on the wire).
             bitmap_bytes = max(op.n_chunks // 8, 8)
@@ -495,12 +535,19 @@ class RankEngine:
         armed_at = self.sim.now
         deadline = armed_at + expected + slack
         op.record_timer(expected + slack, "cutoff-arm")
+        trc = self.trace
+        if trc is not None:
+            trc.instant("reliability.arm", armed_at,
+                        {"timeout": expected + slack})
         if op.is_sender and len(participants) > 1:
             if activation_pred is not None:
                 yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
             yield from self.run_send(op)
             op.mark_phase("send_done")
             if activation_succ is not None:
+                if trc is not None:
+                    trc.instant("seq.activate", self.sim.now,
+                                {"succ": activation_succ})
                 self.ctrl.send(activation_succ, MSG_ACTIVATE, op.coll_id)
         recovery_deadline_abs: Optional[float] = None
         while not op.data_done.triggered:
@@ -508,6 +555,8 @@ class RankEngine:
             yield AnyOf(self.sim, [op.data_done, Timeout(self.sim, remaining)])
             if op.data_done.triggered:
                 break
+            if trc is not None:
+                trc.instant("reliability.fire", self.sim.now)
             if recovery_deadline_abs is None:
                 op.mark_phase("recovery")
                 recovery_deadline_abs = self.sim.now + cfg.recovery_deadline
@@ -527,5 +576,14 @@ class RankEngine:
             self.ctrl.send(left, MSG_FINAL, op.coll_id)
             yield self.ctrl.recv(MSG_FINAL, op.coll_id, right)
         op.mark_phase("final")
+        if trc is not None:
+            # Per-phase spans (Fig 10 critical-path attribution), emitted
+            # once the whole lifecycle is known so each span is closed.
+            ph = op.phases
+            t_start, t_sync = ph["start"], ph["sync"]
+            t_data, t_final = ph["data"], ph["final"]
+            trc.complete("phase.sync", t_start, t_sync - t_start)
+            trc.complete("phase.multicast", t_sync, t_data - t_sync)
+            trc.complete("phase.handshake", t_data, t_final - t_data)
         op.op_done.succeed()
         return op

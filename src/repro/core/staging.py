@@ -52,6 +52,10 @@ class StagingRing:
             for s in range(n_slots)
         }
         self.reposts = 0
+        # Incremental occupancy counters: O(1) reads so per-CQE telemetry
+        # (the staging.hold trace counter) never scans the slot array.
+        self._posted_count = 0
+        self._held_count = 0
 
     @property
     def nbytes(self) -> int:
@@ -60,11 +64,11 @@ class StagingRing:
 
     @property
     def posted(self) -> int:
-        return sum(1 for s in self._state if s == _POSTED)
+        return self._posted_count
 
     @property
     def held(self) -> int:
-        return sum(1 for s in self._state if s == _HELD)
+        return self._held_count
 
     # ------------------------------------------------------------ lifecycle
 
@@ -75,6 +79,7 @@ class StagingRing:
             slot = self._free.popleft()
             qp.post_recv(self._wrs[slot])
             self._state[slot] = _POSTED
+            self._posted_count += 1
             n += 1
         return n
 
@@ -84,6 +89,8 @@ class StagingRing:
         if self._state[slot] != _POSTED:
             raise RuntimeError(f"slot {slot} completed but was not posted")
         self._state[slot] = _HELD
+        self._posted_count -= 1
+        self._held_count += 1
         return self.slot_view(slot)
 
     def repost(self, slot: int, qp: QueuePair) -> None:
@@ -93,6 +100,8 @@ class StagingRing:
             raise RuntimeError(f"slot {slot} reposted but was not held")
         qp.post_recv(self._wrs[slot])
         self._state[slot] = _POSTED
+        self._held_count -= 1
+        self._posted_count += 1
         self.reposts += 1
 
     def slot_view(self, slot: int, length: int | None = None) -> np.ndarray:

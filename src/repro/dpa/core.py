@@ -70,6 +70,7 @@ class MTCoreSim:
         chunk_bytes: int,
         arrival_interval: Optional[float] = None,
         start_overhead: float = 0.0,
+        tracer=None,
     ) -> ThreadRunResult:
         """Process *n_items* work items across *n_threads*.
 
@@ -90,6 +91,7 @@ class MTCoreSim:
 
         def thread_proc(t: int):
             pipe = core_pipes[t // self.threads_per_core]
+            trk = tracer.track("dpa", f"t{t}") if tracer is not None else None
             if start_overhead > 0.0:
                 yield Timeout(sim, start_overhead)
             k = t
@@ -101,8 +103,11 @@ class MTCoreSim:
                 for is_compute, dur in segments:
                     if is_compute:
                         yield pipe.acquire()
+                        issue_at = sim.now
                         yield Timeout(sim, dur)
                         pipe.release()
+                        if trk is not None:
+                            trk.complete("dpa.compute", issue_at, sim.now - issue_at)
                     else:
                         yield Timeout(sim, dur)
                 k += n_threads

@@ -154,6 +154,32 @@ class Fabric:
         else:
             self.switches[src].add_port(ch)
 
+    # -------------------------------------------------------- observability
+
+    def install_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.trace.Tracer` to the whole fabric.
+
+        Gives every channel, NIC and switch its observability track and
+        hooks the engine's dispatch histogram.  Call before traffic flows;
+        passing ``None`` detaches everything.
+        """
+        if tracer is None:
+            self.sim.trace_hook = None
+            for ch in self.channels.values():
+                ch.trace = None
+            for nic in self.nics.values():
+                nic.trace = None
+            for sw in self.switches.values():
+                sw.trace = None
+            return
+        self.sim.trace_hook = tracer.on_engine_event
+        for (src, dst), ch in sorted(self.channels.items()):
+            ch.trace = tracer.track("link", f"{src}->{dst}")
+        for h in sorted(self.nics):
+            self.nics[h].trace = tracer.track("nic", f"h{h}")
+        for name in sorted(self.switches):
+            self.switches[name].trace = tracer.track("switch", name)
+
     # ------------------------------------------------------------ accessors
 
     def nic(self, host: int) -> Nic:

@@ -167,6 +167,7 @@ class Channel:
         "train_packets",
         "_droppable_seq",
         "_ge_bad",
+        "trace",
     )
 
     def __init__(
@@ -210,6 +211,10 @@ class Channel:
         self.train_packets = 0  #: packets carried inside those trains
         self._droppable_seq = 0  #: index among fault-affected packets
         self._ge_bad: Optional[bool] = None  #: Gilbert–Elliott chain state
+        #: observability track (repro.obs.trace.Track) or None; tracing
+        #: records timestamps only — it never schedules events or consumes
+        #: randomness, so results are identical with it on or off.
+        self.trace = None
 
     @property
     def name(self) -> str:
@@ -232,6 +237,7 @@ class Channel:
             bandwidth *= self.fault.bandwidth_factor(now)
         if packet.wire_bytes <= self.ctrl_bypass_bytes:
             # High-priority VL: negligible wire time, no bulk queuing.
+            start = now
             finish = now + packet.wire_bytes / bandwidth
         else:
             start = now if now > self.busy_until else self.busy_until
@@ -240,6 +246,9 @@ class Channel:
         self.bytes_sent += packet.wire_bytes
         self.payload_bytes_sent += packet.payload_len
         self.packets_sent += 1
+        trc = self.trace
+        if trc is not None and packet.wire_bytes > self.ctrl_bypass_bytes:
+            trc.complete("link.busy", start, finish - start)
 
         jitter = 0.0
         if self.fault is not None and self.fault.affects(packet):
@@ -248,6 +257,8 @@ class Channel:
             if self._should_drop(packet, seq):
                 self.bytes_dropped += packet.wire_bytes
                 self.packets_dropped += 1
+                if trc is not None:
+                    trc.instant("link.drop", finish)
                 return finish
             if self.fault.reorder_jitter > 0.0:
                 if self.rng is None:
@@ -336,6 +347,8 @@ class Channel:
         arrivals = []
         bytes_sum = 0
         payload_sum = 0
+        first_inj = now if injections is None else injections[0]
+        first_start = first_inj if first_inj > prev else prev
         if injections is None:
             for p in packets:
                 start = now if now > prev else prev
@@ -358,6 +371,12 @@ class Channel:
         self.packets_sent += n
         self.trains_sent += 1
         self.train_packets += n
+        trc = self.trace
+        if trc is not None:
+            # One merged busy interval for the whole run, plus the
+            # coalescing marker itself.
+            trc.complete("link.busy", first_start, prev - first_start)
+            trc.instant("link.train", first_start, {"pkts": n})
         fault = self.fault
         if fault is not None:
             # Keep the droppable-packet index in lockstep with what the

@@ -300,6 +300,9 @@ class Nic:
         self.rnr_drops = 0
         self.packets_received = 0
         self.bytes_received = 0
+        #: observability track (repro.obs.trace.Track) or None; records
+        #: timestamps only, never schedules events.
+        self.trace = None
 
     # ----------------------------------------------------------------- verbs
 
@@ -433,6 +436,10 @@ class Nic:
         The doorbell-batched multicast send worker (§V-A) posts through
         this path.
         """
+        trc = self.trace
+        if trc is not None:
+            items = list(items)
+            trc.instant("nic.doorbell", self.sim.now, {"wrs": len(items)})
         run_pkts: List[Packet] = []
         run_meta: List[tuple] = []  # (qp, wr, dst, n_packets)
         run_dst: Optional[int] = None
@@ -574,18 +581,25 @@ class Nic:
             self._absorb_read_response(qp, packet)
 
     def _deliver_ud(self, qp: QueuePair, packet: Packet) -> None:
+        trc = self.trace
         if not qp.recv_queue:
             qp.rnr_drops += 1
             self.rnr_drops += 1
+            if trc is not None:
+                trc.instant("nic.rnr", self.sim.now)
             return
         wr = qp.recv_queue.popleft()
         n = packet.payload_len
         if n > wr.length:
             qp.rnr_drops += 1  # buffer too small: local length error ≈ drop
             self.rnr_drops += 1
+            if trc is not None:
+                trc.instant("nic.rnr", self.sim.now)
             return
         if packet.payload is not None and n > 0:
             self.memory.lookup(wr.mr_key).view(wr.offset, n)[:] = packet.payload[:n]
+        if trc is not None:
+            trc.instant("nic.cqe", self.sim.now)
         qp.recv_cq.push(
             CQE(
                 wr_id=wr.wr_id,
@@ -636,8 +650,12 @@ class Nic:
             else:
                 qp.rnr_drops += 1
                 self.rnr_drops += 1
+                if self.trace is not None:
+                    self.trace.instant("nic.rnr", self.sim.now)
             return
         wr = qp.recv_queue.popleft()
+        if self.trace is not None:
+            self.trace.instant("nic.cqe", self.sim.now)
         qp.recv_cq.push(
             CQE(
                 wr_id=wr.wr_id,
@@ -693,6 +711,8 @@ class Nic:
             if p.payload is not None and p.payload_len:
                 off = wr.offset + p.msg_seq * self.mtu
                 dst_mr.view(off, p.payload_len)[:] = p.payload[: p.payload_len]
+        if self.trace is not None:
+            self.trace.instant("nic.cqe", self.sim.now)
         qp.recv_cq.push(
             CQE(
                 wr_id=wr.wr_id,

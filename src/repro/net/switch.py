@@ -39,6 +39,9 @@ class Switch:
         self.inc_handler = None
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
+        #: observability track or None (see repro.obs); only train relays
+        #: are traced — per-packet egress is visible on the link tracks.
+        self.trace = None
 
     # ----------------------------------------------------------------- wiring
 
@@ -115,6 +118,7 @@ class Switch:
         # same float expression the per-packet call_later path evaluates.
         inj = [a + d for a in train.arrivals] if d > 0.0 else train.arrivals
         n = len(pkts)
+        trc = self.trace
         if first.is_multicast:
             tree_ports = self.mcast_table.get(first.mcast_gid)
             if tree_ports is None:
@@ -126,6 +130,8 @@ class Switch:
                 clone = [p.clone_for_fanout() for p in pkts]
                 self.ports[neighbor].transmit_train(clone, injections=inj)
                 self.packets_forwarded += n
+                if trc is not None:
+                    trc.instant("switch.relay", self.sim.now, {"pkts": n})
         else:
             neighbor = self.unicast_table.get(first.dst)
             if neighbor is None:
@@ -133,6 +139,8 @@ class Switch:
                 return
             self.ports[neighbor].transmit_train(pkts, injections=inj)
             self.packets_forwarded += n
+            if trc is not None:
+                trc.instant("switch.relay", self.sim.now, {"pkts": n})
 
     # -------------------------------------------------------------- counters
 

@@ -1,0 +1,37 @@
+"""Observability plane: structured tracing + metric timelines.
+
+See DESIGN.md §8 for the tracepoint catalogue, the overhead budget, and
+the trace-viewing quickstart.  Entry points:
+
+* ``Communicator(..., trace=TraceConfig())`` turns tracing on; each
+  ``CollectiveResult.trace`` is then a :class:`TraceView` clipped to that
+  collective's window.
+* ``python -m repro trace`` runs a scenario and writes a Chrome
+  trace-event JSON viewable in chrome://tracing or Perfetto.
+"""
+
+from repro.obs.export import chrome_trace, trace_json, write_chrome_trace
+from repro.obs.schema import NAME_RE, TRACEPOINTS, validate_event
+from repro.obs.trace import (
+    ENABLED,
+    TraceConfig,
+    Tracer,
+    TraceRecord,
+    TraceView,
+    Track,
+)
+
+__all__ = [
+    "ENABLED",
+    "NAME_RE",
+    "TRACEPOINTS",
+    "TraceConfig",
+    "TraceRecord",
+    "TraceView",
+    "Tracer",
+    "Track",
+    "chrome_trace",
+    "trace_json",
+    "validate_event",
+    "write_chrome_trace",
+]

@@ -1,0 +1,96 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Produces the classic ``{"traceEvents": [...]}`` JSON understood by both
+``chrome://tracing`` and https://ui.perfetto.dev.  Layout: one *process*
+per track group (ranks first, then nic/link/switch/engine/dpa fabric
+groups) and one *thread* per track, so the viewer shows one swim-lane
+per rank plus the fabric lanes beneath.
+
+Export is byte-deterministic: events are emitted in the (already
+deterministic) :class:`~repro.obs.trace.TraceView` record order, the JSON
+is serialized with sorted keys and fixed separators, and nothing derived
+from wall-clock time or object identity enters the output.  Two
+identically-seeded runs therefore produce identical files (golden-tested
+in ``tests/test_obs_trace.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.trace import TraceView
+
+__all__ = ["GROUP_ORDER", "chrome_trace", "trace_json", "write_chrome_trace"]
+
+#: process layout order; ranks first so they are the top tracks in the UI.
+GROUP_ORDER = ("rank", "nic", "link", "switch", "engine", "dpa")
+
+_S_TO_US = 1e6
+
+
+def _pid_for(group: str) -> int:
+    try:
+        return GROUP_ORDER.index(group) + 1
+    except ValueError:
+        return len(GROUP_ORDER) + 1
+
+
+def chrome_trace(view: TraceView) -> dict:
+    """Render a :class:`TraceView` as a Chrome trace-event document."""
+    events: List[dict] = []
+
+    # Metadata: name each process (track group) and thread (track).
+    seen_groups: Dict[str, None] = {}
+    seen_tracks: Dict[Tuple[str, str], None] = {}
+    for r in view.records:
+        if r.group not in seen_groups:
+            seen_groups[r.group] = None
+            pid = _pid_for(r.group)
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": r.group}})
+            events.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                           "tid": 0, "args": {"sort_index": pid}})
+        if (r.group, r.track) not in seen_tracks:
+            seen_tracks[(r.group, r.track)] = None
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": _pid_for(r.group), "tid": r.tid,
+                           "args": {"name": r.track}})
+
+    for r in view.records:
+        ev = {
+            "name": r.name,
+            "ph": r.ph,
+            "pid": _pid_for(r.group),
+            "tid": r.tid,
+            "ts": r.ts * _S_TO_US,
+        }
+        if r.ph == "X":
+            ev["dur"] = r.value * _S_TO_US
+            if r.args:
+                ev["args"] = r.args
+        elif r.ph == "i":
+            ev["s"] = "t"
+            if r.args:
+                ev["args"] = r.args
+        elif r.ph == "C":
+            ev["args"] = {"value": r.value}
+        events.append(ev)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": view.dropped},
+    }
+
+
+def trace_json(view: TraceView) -> str:
+    """Byte-deterministic JSON serialization of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(view), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(view: TraceView, path: str) -> None:
+    """Write the trace to *path*, loadable in chrome://tracing / Perfetto."""
+    with open(path, "w") as fh:
+        fh.write(trace_json(view))

@@ -1,0 +1,85 @@
+"""Metric timelines derived from trace records.
+
+These turn raw tracepoints into the timelines the paper's evaluation
+plots: per-link utilization (bandwidth-optimality, Fig 2/3 style),
+staging-ring occupancy, outstanding send batches, and retry/recovery
+event streams.  All of them operate on a :class:`~repro.obs.trace.TraceView`
+snapshot, so they can be computed per collective from
+``CollectiveResult.trace``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.obs.trace import TraceRecord, TraceView
+
+__all__ = [
+    "counter_series",
+    "link_utilization",
+    "outstanding_batches",
+    "retry_events",
+    "staging_occupancy",
+]
+
+
+def link_utilization(view: TraceView, port: str, bins: int = 50,
+                     t0: Optional[float] = None,
+                     t1: Optional[float] = None) -> List[Tuple[float, float]]:
+    """Fraction-of-time-busy timeline for one link track.
+
+    Integrates ``link.busy`` spans of the given port over *bins* equal
+    windows of ``[t0, t1]`` (defaulting to the span extent).  Returns
+    ``[(bin_start_s, utilization_0_to_1), ...]``.
+    """
+    spans = view.select(name="link.busy", group="link", track=port, ph="X")
+    if not spans:
+        return []
+    if t0 is None:
+        t0 = min(r.ts for r in spans)
+    if t1 is None:
+        t1 = max(r.ts + r.value for r in spans)
+    if t1 <= t0 or bins < 1:
+        return [(t0, 0.0)]
+    width = (t1 - t0) / bins
+    busy = [0.0] * bins
+    for r in spans:
+        s, e = r.ts, r.ts + r.value
+        lo = max(0, int((s - t0) / width))
+        hi = min(bins - 1, int((e - t0) / width))
+        for b in range(lo, hi + 1):
+            b0 = t0 + b * width
+            busy[b] += max(0.0, min(e, b0 + width) - max(s, b0))
+    return [(t0 + b * width, min(1.0, busy[b] / width)) for b in range(bins)]
+
+
+def counter_series(view: TraceView, name: str, group: str,
+                   track: str) -> List[Tuple[float, float]]:
+    """Raw ``(ts, value)`` samples of one counter tracepoint on one track."""
+    return [(r.ts, r.value)
+            for r in view.select(name=name, group=group, track=track, ph="C")]
+
+
+def staging_occupancy(view: TraceView, rank: int) -> List[Tuple[float, float]]:
+    """Staging-ring held-slot occupancy timeline for one rank."""
+    return counter_series(view, "staging.hold", "rank", f"r{rank}")
+
+
+def outstanding_batches(view: TraceView, rank: int) -> List[Tuple[float, float]]:
+    """In-flight send-batch count timeline for one rank."""
+    return counter_series(view, "nic.outstanding", "rank", f"r{rank}")
+
+
+def retry_events(view: TraceView,
+                 rank: Optional[int] = None) -> List[TraceRecord]:
+    """Every reliability slow-path event, optionally filtered to one rank.
+
+    Covers cutoff fires, recovery rounds, fetch rounds, escalations and
+    ACK timeouts — the stream to overlay on link timelines when asking
+    "why did rank 7 stall at t=1.8ms".
+    """
+    names = ("reliability.fire", "reliability.recover", "reliability.fetch",
+             "reliability.escalate", "reliability.timeout")
+    track = None if rank is None else f"r{rank}"
+    return [r for r in view.records
+            if r.name in names and (track is None or r.track == track)]

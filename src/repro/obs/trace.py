@@ -1,0 +1,285 @@
+"""Structured tracing core: bounded per-track ring buffers.
+
+The observability plane records *tracepoints* — named, timestamped facts
+about the datapath (a link busy interval, a CQE delivery, a cutoff-timer
+arm) — into bounded per-track ring buffers, one track per rank plus
+fabric-side tracks (links, NICs, switches, the event engine, DPA
+threads).  Tracepoint names follow the ``subsystem.verb`` convention and
+must appear in :data:`repro.obs.schema.TRACEPOINTS` (enforced by
+``tools/check_tracepoints.py``).
+
+Cost discipline
+---------------
+Tracing must never perturb the simulation and must cost ~nothing when
+off:
+
+* **Disabled** (the default): instrumented call sites hold a ``None``
+  track reference and guard with a single ``is not None`` check — no
+  formatting, no allocation, no call.  The module-level :data:`ENABLED`
+  flag is a global kill switch checked before a tracer is ever built.
+* **Enabled**: recording is a tuple append into a ``deque(maxlen=...)``.
+  Tracepoints NEVER schedule simulator events and never read wall-clock
+  time, so virtual-time results, ``events_processed`` counts and the
+  fast-path equivalence guarantees are bit-identical with tracing on
+  (tested in ``tests/test_obs_trace.py``).
+
+All timestamps are simulator virtual time in seconds; export converts to
+the microseconds Chrome/Perfetto expect.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = ["ENABLED", "TraceConfig", "Track", "Tracer", "TraceRecord", "TraceView"]
+
+#: Module-level master switch.  Checked once, when a :class:`Tracer` is
+#: about to be installed — not per tracepoint — so flipping it off
+#: guarantees zero tracing work anywhere in the stack.
+ENABLED = True
+
+
+@dataclass
+class TraceConfig:
+    """Tracing knobs passed as ``Communicator(..., trace=TraceConfig())``."""
+
+    #: build the tracer at all (``False`` keeps the plane fully off)
+    enabled: bool = True
+    #: ring capacity: events retained per track (oldest evicted first)
+    capacity: int = 1 << 16
+    #: bin width (seconds) of the engine event-dispatch histogram
+    engine_bin: float = 20e-6
+
+    def validate(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        if self.engine_bin <= 0:
+            raise ValueError("engine_bin must be > 0")
+
+
+class TraceRecord(NamedTuple):
+    """One normalized trace event, as exposed by :class:`TraceView`."""
+
+    group: str  #: track group: rank | nic | link | switch | engine | dpa
+    track: str  #: track name within the group (e.g. ``r3``, ``h0->leaf0``)
+    tid: int  #: stable per-group thread id (track creation order)
+    ts: float  #: virtual-time start, seconds
+    value: float  #: duration ('X'), counter value ('C'), 0.0 ('i')
+    ph: str  #: Chrome phase: 'X' complete, 'i' instant, 'C' counter
+    name: str  #: tracepoint name, ``subsystem.verb``
+    args: Optional[Dict[str, Any]]  #: small payload, or None
+
+
+class Track:
+    """One timeline (rank, port, thread...) with a bounded event ring.
+
+    Raw storage is a ``deque(maxlen=capacity)`` of plain tuples
+    ``(ts, value, ph, name, args)`` — the cheapest recording the Python
+    runtime offers; normalization happens only at snapshot time.
+    """
+
+    __slots__ = ("group", "name", "tid", "buf", "dropped")
+
+    def __init__(self, group: str, name: str, tid: int, capacity: int) -> None:
+        self.group = group
+        self.name = name
+        self.tid = tid
+        self.buf: "collections.deque" = collections.deque(maxlen=capacity)
+        self.dropped = 0  # evictions are counted so truncation is visible
+
+    def instant(self, name: str, ts: float, args: Optional[dict] = None) -> None:
+        """Record a point event (Chrome phase ``i``)."""
+        buf = self.buf
+        if len(buf) == buf.maxlen:
+            self.dropped += 1
+        buf.append((ts, 0.0, "i", name, args))
+
+    def complete(self, name: str, ts: float, dur: float,
+                 args: Optional[dict] = None) -> None:
+        """Record a duration span (Chrome phase ``X``)."""
+        buf = self.buf
+        if len(buf) == buf.maxlen:
+            self.dropped += 1
+        buf.append((ts, dur, "X", name, args))
+
+    def counter(self, name: str, ts: float, value: float) -> None:
+        """Record a counter sample (Chrome phase ``C``)."""
+        buf = self.buf
+        if len(buf) == buf.maxlen:
+            self.dropped += 1
+        buf.append((ts, float(value), "C", name, None))
+
+
+class Tracer:
+    """Owns every track plus the engine-dispatch histogram.
+
+    One tracer serves one fabric/communicator; install it with
+    :meth:`repro.net.fabric.Fabric.install_tracer` (done automatically by
+    ``Communicator(..., trace=...)``).
+    """
+
+    def __init__(self, config: Optional[TraceConfig] = None) -> None:
+        self.config = config or TraceConfig()
+        self.config.validate()
+        self._tracks: Dict[Tuple[str, str], Track] = {}
+        self._tids: Dict[str, int] = {}  # next tid per group
+        # Engine event-dispatch histogram: bin index -> events fired.  A
+        # dict (not a ring) — bounded by coarsening: when the bin count
+        # exceeds the track capacity the bin width doubles and the
+        # histogram is re-bucketed, keeping memory O(capacity).
+        self._engine_bins: Dict[int, int] = {}
+        self._engine_bin_w = float(self.config.engine_bin)
+
+    # ------------------------------------------------------------- recording
+
+    def track(self, group: str, name: str) -> Track:
+        """The track for ``(group, name)``, created on first use."""
+        key = (group, name)
+        trk = self._tracks.get(key)
+        if trk is None:
+            tid = self._tids.get(group, 0)
+            self._tids[group] = tid + 1
+            trk = self._tracks[key] = Track(group, name, tid, self.config.capacity)
+        return trk
+
+    def on_engine_event(self, when: float) -> None:
+        """Per-fired-event hook installed as ``Simulator.trace_hook``."""
+        bins = self._engine_bins
+        b = int(when / self._engine_bin_w)
+        bins[b] = bins.get(b, 0) + 1
+        if len(bins) > self.config.capacity:
+            self._coarsen()
+
+    def _coarsen(self) -> None:
+        self._engine_bin_w *= 2.0
+        merged: Dict[int, int] = {}
+        for b, n in self._engine_bins.items():
+            half = b >> 1
+            merged[half] = merged.get(half, 0) + n
+        self._engine_bins = merged
+
+    # -------------------------------------------------------------- snapshot
+
+    def _iter_records(self) -> Iterator[TraceRecord]:
+        for (group, name), trk in self._tracks.items():
+            for ts, value, ph, ev_name, args in trk.buf:
+                yield TraceRecord(group, name, trk.tid, ts, value, ph, ev_name, args)
+        if self._engine_bins:
+            w = self._engine_bin_w
+            for b in sorted(self._engine_bins):
+                yield TraceRecord(
+                    "engine", "dispatch", 0, b * w,
+                    float(self._engine_bins[b]), "C", "engine.dispatch", None,
+                )
+
+    def view(self, t0: Optional[float] = None,
+             t1: Optional[float] = None) -> "TraceView":
+        """Snapshot the rings into an immutable, queryable view.
+
+        ``[t0, t1]`` clips to one collective's window (inclusive); spans
+        are kept if they *start* inside the window.
+        """
+        records = [
+            r for r in self._iter_records()
+            if (t0 is None or r.ts >= t0) and (t1 is None or r.ts <= t1)
+        ]
+        # Deterministic presentation order: by track, then time, with the
+        # per-track insertion order (already time-sorted per ring) kept.
+        records.sort(key=lambda r: (r.group, r.tid, r.ts, r.ph, r.name))
+        return TraceView(records, dropped=self.dropped_events())
+
+    def dropped_events(self) -> int:
+        """Events evicted from full rings (0 means the trace is complete)."""
+        return sum(t.dropped for t in self._tracks.values())
+
+
+class TraceView:
+    """An immutable snapshot of trace records with query helpers.
+
+    Returned by :meth:`Tracer.view` and surfaced per-collective as
+    :attr:`repro.core.communicator.CollectiveResult.trace`.  Metric
+    timelines (link utilization, staging occupancy, outstanding WRs,
+    retries) live in :mod:`repro.obs.metrics` and are also exposed here
+    as thin delegating methods.
+    """
+
+    def __init__(self, records: List[TraceRecord], dropped: int = 0) -> None:
+        self.records = records
+        self.dropped = dropped
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # --------------------------------------------------------------- queries
+
+    def select(self, name: Optional[str] = None, group: Optional[str] = None,
+               track: Optional[str] = None, ph: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching every given filter (exact matches)."""
+        return [
+            r for r in self.records
+            if (name is None or r.name == name)
+            and (group is None or r.group == group)
+            and (track is None or r.track == track)
+            and (ph is None or r.ph == ph)
+        ]
+
+    def count(self, name: str) -> int:
+        """How many events carry tracepoint *name*."""
+        return sum(1 for r in self.records if r.name == name)
+
+    def tracks(self) -> List[Tuple[str, str]]:
+        """Distinct ``(group, track)`` pairs present in the snapshot."""
+        seen: Dict[Tuple[str, str], None] = {}
+        for r in self.records:
+            seen.setdefault((r.group, r.track), None)
+        return list(seen)
+
+    # ----------------------------------------------------- metric timelines
+
+    def link_utilization(self, port: str, bins: int = 50,
+                         t0: Optional[float] = None, t1: Optional[float] = None):
+        from repro.obs.metrics import link_utilization
+
+        return link_utilization(self, port, bins=bins, t0=t0, t1=t1)
+
+    def counter_series(self, name: str, group: str, track: str):
+        from repro.obs.metrics import counter_series
+
+        return counter_series(self, name, group, track)
+
+    def staging_occupancy(self, rank: int):
+        from repro.obs.metrics import staging_occupancy
+
+        return staging_occupancy(self, rank)
+
+    def outstanding_batches(self, rank: int):
+        from repro.obs.metrics import outstanding_batches
+
+        return outstanding_batches(self, rank)
+
+    def retry_events(self, rank: Optional[int] = None):
+        from repro.obs.metrics import retry_events
+
+        return retry_events(self, rank)
+
+    # --------------------------------------------------------------- export
+
+    def to_chrome(self) -> dict:
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def to_json(self) -> str:
+        from repro.obs.export import trace_json
+
+        return trace_json(self)
+
+    def save(self, path: str) -> None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(self, path)

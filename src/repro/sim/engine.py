@@ -110,6 +110,11 @@ class Simulator:
         self._running = False
         self._processes: "List[Any]" = []  # live Process objects (for debugging)
         self.events_processed: int = 0
+        # Observability hook: called as trace_hook(when) for every event the
+        # loop fires.  None (the default) keeps the hot loops hook-free —
+        # run() selects a separate tight loop so the common case pays zero
+        # per-event cost.  Installed by Fabric.install_tracer().
+        self.trace_hook: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------ clock
 
@@ -200,6 +205,8 @@ class Simulator:
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
+        if self.trace_hook is not None:
+            self.trace_hook(when)
         event._fire()
         return when
 
@@ -220,14 +227,23 @@ class Simulator:
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
+        hook = self.trace_hook
         try:
             if until is None and max_events is None:
-                # The common full-drain case, with zero per-iteration checks.
-                while queue:
-                    entry = heappop(queue)
-                    self._now = entry[0]
-                    processed += 1
-                    entry[2]._fire()
+                if hook is None:
+                    # The common full-drain case, zero per-iteration checks.
+                    while queue:
+                        entry = heappop(queue)
+                        self._now = entry[0]
+                        processed += 1
+                        entry[2]._fire()
+                else:
+                    while queue:
+                        entry = heappop(queue)
+                        self._now = entry[0]
+                        processed += 1
+                        hook(entry[0])
+                        entry[2]._fire()
             else:
                 while queue:
                     if until is not None and queue[0][0] > until:
@@ -238,6 +254,8 @@ class Simulator:
                     entry = heappop(queue)
                     self._now = entry[0]
                     processed += 1
+                    if hook is not None:
+                        hook(entry[0])
                     entry[2]._fire()
         finally:
             self._running = False
@@ -288,18 +306,35 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         processed = 0
+        hook = self.trace_hook
         try:
-            while fired[0] < remaining:
-                if not queue:
-                    raise SimulationError(
-                        f"simulation drained at t={self._now} with "
-                        f"{remaining - fired[0]} events still pending"
-                    )
-                if until is not None and queue[0][0] > until:
-                    raise SimulationError(f"horizon {until} reached with events pending")
-                entry = heappop(queue)
-                self._now = entry[0]
-                processed += 1
-                entry[2]._fire()
+            if until is None and hook is None:
+                # Common case (collective completion drains): no horizon
+                # and no tracer, zero per-iteration checks.
+                while fired[0] < remaining:
+                    if not queue:
+                        raise SimulationError(
+                            f"simulation drained at t={self._now} with "
+                            f"{remaining - fired[0]} events still pending"
+                        )
+                    entry = heappop(queue)
+                    self._now = entry[0]
+                    processed += 1
+                    entry[2]._fire()
+            else:
+                while fired[0] < remaining:
+                    if not queue:
+                        raise SimulationError(
+                            f"simulation drained at t={self._now} with "
+                            f"{remaining - fired[0]} events still pending"
+                        )
+                    if until is not None and queue[0][0] > until:
+                        raise SimulationError(f"horizon {until} reached with events pending")
+                    entry = heappop(queue)
+                    self._now = entry[0]
+                    processed += 1
+                    if hook is not None:
+                        hook(entry[0])
+                    entry[2]._fire()
         finally:
             self.events_processed += processed

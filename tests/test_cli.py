@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 from repro.__main__ import main
 
 
@@ -31,3 +33,14 @@ def test_cli_speedup_small(capsys):
 def test_cli_help_and_unknown(capsys):
     assert main(["help"]) == 0
     assert main(["frobnicate"]) == 2
+
+
+def test_cli_trace_writes_chrome_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--hosts", "8", "--bytes", "16384",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "data OK" in out and "trace:" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"], "trace export is empty"
+    assert any(e["ph"] == "M" for e in doc["traceEvents"])

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lint tracepoint call sites against the schema catalogue.
+
+Scans ``src/repro`` for ``.instant(...)`` / ``.complete(...)`` /
+``.counter(...)`` calls with a string-literal first argument and checks
+that every name
+
+* follows the ``subsystem.verb`` convention (:data:`repro.obs.schema.NAME_RE`),
+* is registered in :data:`repro.obs.schema.TRACEPOINTS`.
+
+Exit status 1 lists every violation; 0 means the catalogue is complete.
+Run from the repo root: ``PYTHONPATH=src python tools/check_tracepoints.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.schema import NAME_RE, TRACEPOINTS  # noqa: E402
+
+CALL_RE = re.compile(
+    r"\.(?:instant|complete|counter)\(\s*(['\"])([^'\"]+)\1"
+)
+
+
+def main() -> int:
+    violations = []
+    used = set()
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for m in CALL_RE.finditer(line):
+                name = m.group(2)
+                rel = path.relative_to(ROOT)
+                used.add(name)
+                if not NAME_RE.match(name):
+                    violations.append(
+                        f"{rel}:{lineno}: tracepoint {name!r} does not match "
+                        f"subsystem.verb ({NAME_RE.pattern})")
+                elif name not in TRACEPOINTS:
+                    violations.append(
+                        f"{rel}:{lineno}: tracepoint {name!r} is not registered "
+                        f"in repro.obs.schema.TRACEPOINTS")
+    for v in violations:
+        print(v)
+    unused = sorted(set(TRACEPOINTS) - used)
+    if unused:
+        print(f"note: catalogued but never emitted: {', '.join(unused)}",
+              file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} tracepoint violation(s)", file=sys.stderr)
+        return 1
+    print(f"tracepoints OK: {len(used)} names in use, "
+          f"{len(TRACEPOINTS)} catalogued")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

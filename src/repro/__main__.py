@@ -15,6 +15,9 @@ Commands
 ``trace [--out F] [--hosts N] [--bytes B] [--lossy] [--seed S]``
     Run a traced broadcast and write a Chrome/Perfetto trace-event JSON
     (open it at chrome://tracing or https://ui.perfetto.dev).
+``tune [--collective C] [--hosts N] [--bytes B] [...] | --list | --show REF``
+    Run (or recall from the profile store) a cost-model-guided knob
+    search for one deployment point; inspect stored profiles.
 """
 
 from __future__ import annotations
@@ -139,6 +142,114 @@ def _trace(args: list) -> int:
     return 0 if ok else 1
 
 
+def _tune(args: list) -> int:
+    import argparse
+    import json
+
+    from repro.bench.runner import format_table
+    from repro.tune import ProfileStore, Scenario, autotune
+    from repro.tune.scenario import FAULT_PROFILES
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Search (or recall) the best CollectiveConfig for a "
+                    "deployment point; repeated runs with the same key are "
+                    "pure cache hits served from the profile store.")
+    ap.add_argument("--collective", choices=("broadcast", "allgather"),
+                    default="allgather")
+    ap.add_argument("--hosts", type=int, default=16)
+    ap.add_argument("--topo", default="auto",
+                    help="auto | star | leaf_spine | testbed_188 | back_to_back")
+    ap.add_argument("--bytes", type=int, default=64 * 1024,
+                    help="per-rank payload (keyed by power-of-two bucket)")
+    ap.add_argument("--transport", choices=("ud", "uc"), default="ud")
+    ap.add_argument("--fault", choices=sorted(FAULT_PROFILES), default="clean")
+    ap.add_argument("--link-gbit", type=float, default=56.0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--max-evals", type=int, default=8,
+                    help="simulation budget after cost-model pruning")
+    ap.add_argument("--force", action="store_true",
+                    help="re-search even on a cache hit")
+    ap.add_argument("--no-trace", action="store_true",
+                    help="skip observability metrics (faster at scale)")
+    ap.add_argument("--store", default=None,
+                    help="profile directory (default: the committed store)")
+    ap.add_argument("--log", default=None,
+                    help="write the per-candidate search log as JSON")
+    ap.add_argument("--expect-cache-hit", action="store_true",
+                    help="exit 3 unless the profile was served from the "
+                         "store without simulating (CI cache check)")
+    ap.add_argument("--list", action="store_true", dest="list_profiles",
+                    help="list stored profiles and exit")
+    ap.add_argument("--show", default=None, metavar="REF",
+                    help="print one profile (cache-key or slug prefix)")
+    ns = ap.parse_args(args)
+
+    store = ProfileStore(ns.store) if ns.store else ProfileStore.default()
+
+    if ns.list_profiles:
+        rows = [
+            (p.slug, p.key["collective"], p.key["n_hosts"], p.key["transport"],
+             p.key["bucket"], p.key["fault_profile"],
+             f"{p.baseline['duration'] * 1e6:.1f}",
+             f"{p.best['duration'] * 1e6:.1f}", f"{p.improvement:.2f}x")
+            for p in store.profiles()
+        ]
+        print(format_table(
+            ["profile", "coll", "P", "tpt", "bucket", "fault",
+             "default µs", "tuned µs", "gain"], rows))
+        return 0
+
+    if ns.show is not None:
+        profile = store.get(ns.show)
+        if profile is None:
+            print(f"no profile matching {ns.show!r}")
+            return 1
+        print(profile.to_json(), end="")
+        return 0
+
+    scenario = Scenario(
+        collective=ns.collective, n_hosts=ns.hosts, topo=ns.topo,
+        link_gbit=ns.link_gbit, transport=ns.transport, msg_bytes=ns.bytes,
+        fault_profile=ns.fault, seed=ns.seed)
+    result = autotune(scenario, store=store, max_evals=ns.max_evals,
+                      force=ns.force, trace=not ns.no_trace)
+    profile = result.profile
+
+    origin = "cache hit" if result.cache_hit else "searched"
+    print(f"{origin}: {profile.slug} "
+          f"(evaluations={result.evaluations}, sim_events={result.sim_events})")
+    if result.log:
+        rows = []
+        for entry in result.log:
+            k = entry["knobs"]
+            m = entry["measured"]
+            pred = entry["predicted"]
+            rows.append((
+                "default" if entry["baseline"] else "candidate",
+                k["chunk_size"], k.get("n_chains", 1), k.get("n_subgroups", 1),
+                k.get("batch_size", 32), k.get("staging_slots", 256),
+                "-" if pred is None else f"{pred['total'] * 1e6:.1f}",
+                f"{m['duration'] * 1e6:.1f}",
+            ))
+        print(format_table(
+            ["kind", "chunk", "chains", "subgrp", "batch", "slots",
+             "predicted µs", "measured µs"], rows))
+    print(f"best knobs: {json.dumps(profile.knobs, sort_keys=True)}")
+    print(f"default {profile.baseline['duration'] * 1e6:.1f} µs -> tuned "
+          f"{profile.best['duration'] * 1e6:.1f} µs "
+          f"({profile.improvement:.2f}x)  [{result.store_path}]")
+    if ns.log is not None:
+        with open(ns.log, "w") as fh:
+            json.dump({"profile": profile.slug, "cache_hit": result.cache_hit,
+                       "log": result.log}, fh, indent=2, sort_keys=True)
+        print(f"search log -> {ns.log}")
+    if ns.expect_cache_hit and not result.cache_hit:
+        print("expected a cache hit but a search ran")
+        return 3
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     cmd = argv[0] if argv else "demo"
@@ -152,6 +263,8 @@ def main(argv=None) -> int:
         return _table1()
     if cmd == "trace":
         return _trace(argv[1:])
+    if cmd == "tune":
+        return _tune(argv[1:])
     print(__doc__)
     return 0 if cmd in ("-h", "--help", "help") else 2
 

@@ -140,6 +140,17 @@ class CollectiveConfig:
             raise ValueError("cutoff_alpha and recovery_alpha must be >= 0")
         if not 0 < self.cutoff_alpha_min <= self.cutoff_alpha_max:
             raise ValueError("need 0 < cutoff_alpha_min <= cutoff_alpha_max")
+        if self.adaptive_cutoff and not (
+            self.cutoff_alpha_min <= self.cutoff_alpha <= self.cutoff_alpha_max
+        ):
+            # The estimator clamps its *adapted* slack to this range; a
+            # starting point outside it would be silently overridden from
+            # the second op on — reject the contradiction instead.
+            raise ValueError(
+                f"cutoff_alpha {self.cutoff_alpha} outside the adaptive clamp "
+                f"range [{self.cutoff_alpha_min}, {self.cutoff_alpha_max}]; "
+                "widen the range or disable adaptive_cutoff"
+            )
         if self.recovery_backoff < 1.0:
             raise ValueError("recovery_backoff must be >= 1")
         if self.recovery_jitter < 0:
@@ -430,7 +441,7 @@ class Communicator:
         self,
         fabric: Fabric,
         hosts: Optional[Sequence[int]] = None,
-        config: Optional[CollectiveConfig] = None,
+        config: Union[CollectiveConfig, str, None] = None,
         trace: Optional[TraceConfig] = None,
     ) -> None:
         self.fabric = fabric
@@ -439,6 +450,16 @@ class Communicator:
         if len(set(self.hosts)) != len(self.hosts):
             raise ValueError("duplicate hosts in communicator")
         self.size = len(self.hosts)
+        if isinstance(config, str):
+            # config="auto": resolve the tuned profile for this fabric
+            # through the persistent store (falls back to the stock
+            # default when no profile matches — see repro.tune).
+            if config != "auto":
+                raise ValueError(
+                    f"unknown config preset {config!r} (only 'auto')")
+            from repro.tune.search import resolve_config
+
+            config = resolve_config(fabric, n_hosts=self.size)
         self.config = config or CollectiveConfig()
         self.config.validate(fabric)
         # Observability plane (DESIGN.md §8): build + install the tracer

@@ -1,0 +1,69 @@
+"""Autotuning: cost-model-guided search over the protocol knob space.
+
+The paper's bandwidth-optimality only materialises when the protocol
+knobs match the deployment point — §IV-C picks multicast subgroup counts
+and worker splits per message size, §III-C picks chunk size and cutoff
+slack per fabric, and Fig 15 shows UC chunk-size choice alone swings
+throughput by multiples.  This package closes the loop from the
+analytical models in :mod:`repro.models` to simulated measurements:
+
+* :mod:`repro.tune.scenario` — the tuning **key**: (topology, transport,
+  message-size bucket, fault profile), plus deterministic fabric/payload
+  builders so every evaluation is seeded and reproducible.
+* :mod:`repro.tune.space` — knob **domains** and validity constraints,
+  reusing :meth:`~repro.core.communicator.CollectiveConfig.validate`.
+* :mod:`repro.tune.cost` — the analytic **pre-pruner**: ranks candidates
+  with the traffic/boundary/footprint/alpha-beta models before any
+  simulation runs.
+* :mod:`repro.tune.evaluate` — **simulation-in-the-loop** scoring of the
+  surviving candidates through the real engine, with
+  :mod:`repro.obs.metrics` timelines (link utilization, staging
+  occupancy) as secondary objectives.
+* :mod:`repro.tune.store` — the **persistent profile store**: versioned,
+  byte-stable JSON under ``tune/profiles/`` with deterministic cache
+  keys; committed profiles cover the paper's 188-node fat-tree points.
+* :mod:`repro.tune.search` — the orchestration:
+  :func:`~repro.tune.search.autotune` (space → prune → simulate → store)
+  and :func:`~repro.tune.search.resolve_config`, which backs
+  ``Communicator(..., config="auto")``.
+
+Quickstart::
+
+    from repro.tune import Scenario, autotune
+
+    scn = Scenario(collective="allgather", n_hosts=16, msg_bytes=64 * 1024)
+    result = autotune(scn, max_evals=4)
+    print(result.profile.knobs, result.cache_hit)
+"""
+
+from repro.tune.cost import CostEstimate, predict_time, prune
+from repro.tune.evaluate import Measurement, evaluate
+from repro.tune.scenario import FAULT_PROFILES, Scenario, size_bucket
+from repro.tune.search import SearchResult, autotune, resolve_config
+from repro.tune.space import KnobDomain, SearchSpace
+from repro.tune.store import (
+    PROFILE_SCHEMA_VERSION,
+    ProfileStore,
+    TuningProfile,
+    config_from_knobs,
+)
+
+__all__ = [
+    "CostEstimate",
+    "FAULT_PROFILES",
+    "KnobDomain",
+    "Measurement",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileStore",
+    "Scenario",
+    "SearchResult",
+    "SearchSpace",
+    "TuningProfile",
+    "autotune",
+    "config_from_knobs",
+    "evaluate",
+    "predict_time",
+    "prune",
+    "resolve_config",
+    "size_bucket",
+]

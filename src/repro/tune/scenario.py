@@ -1,0 +1,189 @@
+"""The tuning key and its deterministic execution context.
+
+A :class:`Scenario` names one deployment point: which collective, on
+which topology, over which transport, at which message-size bucket,
+under which fault profile.  Two scenarios with the same
+:meth:`Scenario.cache_key` are interchangeable for tuning purposes —
+the profile store indexes on exactly that digest.
+
+The scenario also *builds* its execution context (fabric, payloads) from
+a seed, so the evaluator's measurements are bit-reproducible and a
+repeated search returns byte-identical profiles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.net.fabric import Fabric
+from repro.net.faults import GilbertElliott
+from repro.net.link import FaultSpec
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import gbit_per_s
+
+__all__ = ["FAULT_PROFILES", "Scenario", "size_bucket"]
+
+#: bump when the key layout changes — old cache entries then miss cleanly
+KEY_SCHEMA_VERSION = 1
+
+#: named fault profiles a scenario can be keyed on; each maps a
+#: ``(src, dst)`` channel to a :class:`~repro.net.link.FaultSpec` (or
+#: ``None`` for a clean fabric).  Extend by registering a new name here.
+FAULT_PROFILES: Dict[str, Optional[Callable[[str, str], Optional[FaultSpec]]]] = {
+    "clean": None,
+    # Light fabric BER: one packet in a thousand, every channel.
+    "bernoulli": lambda s, d: FaultSpec(drop_prob=1e-3),
+    # Bursty Gilbert-Elliott loss (the chaos harness's default regime).
+    "burst": lambda s, d: FaultSpec(gilbert_elliott=GilbertElliott(
+        p_good_bad=0.02, p_bad_good=0.3, drop_good=0.002, drop_bad=0.15)),
+}
+
+
+def size_bucket(nbytes: int) -> int:
+    """Power-of-two message-size bucket (ceiling).
+
+    Profiles are keyed per bucket, not per exact byte count, so nearby
+    sizes share one tuned config — the granularity at which the paper's
+    own evaluation varies its knobs (Figs 11/14/15 step in powers of two).
+    """
+    if nbytes < 1:
+        raise ValueError("nbytes must be >= 1")
+    return 1 << (nbytes - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deployment point of the collective stack.
+
+    ``collective``/``n_hosts``/``topo``/``link_gbit``/``transport``/
+    ``fault_profile`` plus the bucket of ``msg_bytes`` form the cache
+    key; ``seed`` only seeds the evaluation (profiles apply across
+    seeds) and ``msg_bytes`` itself is the representative payload the
+    evaluator runs.
+    """
+
+    collective: str = "allgather"  #: 'broadcast' | 'allgather'
+    n_hosts: int = 16
+    topo: str = "auto"  #: a make_fabric topology name ('auto' resolves)
+    link_gbit: float = 56.0
+    transport: str = "ud"
+    #: per-rank payload (allgather: shard size; broadcast: buffer size)
+    msg_bytes: int = 64 * 1024
+    fault_profile: str = "clean"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.collective not in ("broadcast", "allgather"):
+            raise ValueError(f"unknown collective {self.collective!r}")
+        if self.transport not in ("ud", "uc"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.fault_profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r} "
+                f"(have {sorted(FAULT_PROFILES)})"
+            )
+        if self.n_hosts < 2:
+            raise ValueError("need n_hosts >= 2")
+        if self.msg_bytes < 1:
+            raise ValueError("msg_bytes must be >= 1")
+
+    # ------------------------------------------------------------------ key
+
+    @property
+    def bucket(self) -> int:
+        return size_bucket(self.msg_bytes)
+
+    @property
+    def resolved_topo(self) -> str:
+        """The concrete topology name 'auto' picks (mirrors
+        :func:`repro.bench.runner.make_fabric`)."""
+        if self.topo != "auto":
+            return self.topo
+        if self.n_hosts == 188:
+            return "testbed_188"
+        if self.n_hosts <= 8:
+            return "star"
+        return "leaf_spine"
+
+    def key(self) -> Dict[str, object]:
+        """The canonical (JSON-safe, order-independent) tuning key."""
+        return {
+            "schema": KEY_SCHEMA_VERSION,
+            "collective": self.collective,
+            "topology": self.resolved_topo,
+            "n_hosts": self.n_hosts,
+            "link_gbit": self.link_gbit,
+            "transport": self.transport,
+            "bucket": self.bucket,
+            "fault_profile": self.fault_profile,
+        }
+
+    def cache_key(self) -> str:
+        """Deterministic digest of :meth:`key` — the store's index."""
+        blob = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def slug(self) -> str:
+        """Human-readable profile filename stem (digest-suffixed)."""
+        kib = self.bucket // 1024
+        size = f"{kib}KiB" if kib else f"{self.bucket}B"
+        return (
+            f"{self.collective}-{self.resolved_topo}-p{self.n_hosts}"
+            f"-{self.transport}-{size}-{self.fault_profile}-{self.cache_key()[:8]}"
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def _topology(self) -> Topology:
+        name = self.resolved_topo
+        if name == "star":
+            return Topology.star(self.n_hosts)
+        if name == "testbed_188":
+            return Topology.testbed_188()
+        if name == "back_to_back":
+            return Topology.back_to_back()
+        if name == "leaf_spine":
+            n_leaf = max(2, -(-self.n_hosts // 16))
+            return Topology.leaf_spine(self.n_hosts, n_leaf, max(2, n_leaf // 2))
+        raise ValueError(f"unknown topo {name!r}")
+
+    def build_fabric(self, mtu: int = 4096) -> Fabric:
+        """A fresh seeded fabric for one evaluation.
+
+        ``mtu`` doubles as the simulation-granularity knob exactly as in
+        the benchmark harness: UD candidates simulate with ``mtu ==
+        chunk_size`` and datapath costs rescaled (see
+        :func:`repro.bench.runner.coarse_config`), so one simulated
+        packet stands for many wire packets without decalibrating.
+        """
+        fabric = Fabric(
+            Simulator(),
+            self._topology(),
+            link_bandwidth=gbit_per_s(self.link_gbit),
+            mtu=mtu,
+            streams=RandomStreams(self.seed),
+        )
+        factory = FAULT_PROFILES[self.fault_profile]
+        if factory is not None:
+            fabric.set_fault_all(factory)
+        return fabric
+
+    def make_payload(self) -> List[np.ndarray]:
+        """Seeded per-rank payloads (broadcast uses element 0)."""
+        rng = np.random.default_rng(self.seed)
+        count = self.n_hosts if self.collective == "allgather" else 1
+        return [rng.integers(0, 256, self.msg_bytes, dtype=np.uint8)
+                for _ in range(count)]
+
+    def with_bucket_payload(self) -> "Scenario":
+        """The scenario normalized to its bucket's representative size."""
+        if self.msg_bytes == self.bucket:
+            return self
+        return replace(self, msg_bytes=self.bucket)

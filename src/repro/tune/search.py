@@ -1,0 +1,201 @@
+"""Search orchestration: space → cost-model pruning → simulation → store.
+
+:func:`autotune` is the subsystem's front door: given a scenario it
+first consults the profile store (a hit returns the persisted profile
+with **zero** simulation events — repeat invocations are pure cache
+hits), otherwise enumerates the knob space, pre-prunes it with the
+analytic models, scores the survivors in the simulator, and persists the
+winner.  The untuned default :class:`CollectiveConfig` is always in the
+evaluated set, so a tuned profile can never lose to it.
+
+:func:`resolve_config` backs ``Communicator(..., config="auto")``: it
+derives the scenario key from a live fabric and returns the stored
+profile's config (clamped to the fabric's MTU), falling back to the
+stock default when no profile matches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.communicator import CollectiveConfig
+from repro.net.fabric import Fabric
+from repro.tune.cost import prune
+from repro.tune.evaluate import Measurement, evaluate
+from repro.tune.scenario import Scenario, size_bucket
+from repro.tune.space import SearchSpace
+from repro.tune.store import ProfileStore, PROFILE_SCHEMA_VERSION, TuningProfile, config_from_knobs
+
+__all__ = ["SearchResult", "autotune", "resolve_config"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one :func:`autotune` call."""
+
+    profile: TuningProfile
+    cache_hit: bool  #: True → served from the store, nothing simulated
+    evaluations: int  #: simulated candidates this call (0 on a hit)
+    sim_events: int  #: total engine events spent searching (0 on a hit)
+    log: List[Dict[str, object]] = field(default_factory=list)
+    store_path: Optional[str] = None  #: where the profile lives on disk
+
+
+def _knob_id(knobs: Dict[str, object]) -> str:
+    return json.dumps(knobs, sort_keys=True, default=str)
+
+
+def autotune(
+    scenario: Scenario,
+    store: Optional[ProfileStore] = None,
+    max_evals: int = 8,
+    force: bool = False,
+    trace: bool = True,
+) -> SearchResult:
+    """Find (or recall) the best :class:`CollectiveConfig` for a scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The tuning key + evaluation context; the search normalizes the
+        payload to the key's message-size bucket.
+    store:
+        Profile store to consult/update; defaults to the committed
+        in-package store.
+    max_evals:
+        Simulation budget — candidates surviving the analytic pruner
+        (the untuned baseline rides along for free and does not count
+        against the budget).
+    force:
+        Re-search even on a cache hit, overwriting the stored profile.
+    trace:
+        Attach the observability plane to evaluation runs (secondary
+        objectives); disable to halve wall-clock on very large points.
+    """
+    store = store or ProfileStore.default()
+    scenario = scenario.with_bucket_payload()
+    if not force:
+        hit = store.lookup(scenario)
+        if hit is not None:
+            return SearchResult(
+                profile=hit, cache_hit=True, evaluations=0, sim_events=0,
+                store_path=store.path_for(hit))
+
+    space = SearchSpace.default(scenario)
+    candidates = space.candidates()
+    ranked = prune(scenario, candidates, keep=max_evals)
+
+    # The untuned default always gets simulated: it anchors the profile's
+    # baseline figures and guarantees tuned <= default by construction.
+    baseline_knobs = space.baseline_knobs()
+    baseline_id = _knob_id(baseline_knobs)
+    plan = [(baseline_knobs, None)]
+    plan += [(k, est) for k, est in ranked if _knob_id(k) != baseline_id]
+
+    log: List[Dict[str, object]] = []
+    measured: List[tuple] = []
+    total_events = 0
+    for knobs, estimate in plan:
+        m: Measurement = evaluate(scenario, knobs, trace=trace)
+        total_events += m.sim_events
+        measured.append((knobs, m))
+        log.append({
+            "knobs": knobs,
+            "predicted": estimate.breakdown() if estimate is not None else None,
+            "measured": m.summary(),
+            "baseline": estimate is None,
+        })
+
+    best_knobs, best = min(measured, key=lambda item: item[1].score())
+    baseline = measured[0][1]
+    profile = TuningProfile(
+        schema=PROFILE_SCHEMA_VERSION,
+        key=scenario.key(),
+        cache_key=scenario.cache_key(),
+        slug=scenario.slug(),
+        scenario={"msg_bytes": scenario.msg_bytes, "seed": scenario.seed},
+        knobs=best_knobs,
+        baseline=baseline.summary(),
+        best=best.summary(),
+        search={
+            "space_points": space.n_points,
+            "valid_candidates": len(candidates),
+            "evaluated": len(measured),
+            "max_evals": max_evals,
+        },
+    )
+    path = store.put(profile)
+    return SearchResult(
+        profile=profile, cache_hit=False, evaluations=len(measured),
+        sim_events=total_events, log=log, store_path=path)
+
+
+# --------------------------------------------------------------- resolution
+
+
+def resolve_config(
+    fabric: Fabric,
+    n_hosts: Optional[int] = None,
+    msg_bytes: Optional[int] = None,
+    collective: str = "allgather",
+    fault_profile: str = "clean",
+    store: Optional[ProfileStore] = None,
+) -> CollectiveConfig:
+    """Resolve ``config="auto"`` through the profile store.
+
+    Derives the scenario key from the live fabric (topology kind, size,
+    link rate) and returns the stored profile's config.  Without a
+    ``msg_bytes`` hint the largest-bucket profile for the key wins (FSDP
+    shards sit at the large end of the paper's size sweep).  Unknown
+    topologies or missing profiles fall back to the stock default — the
+    lookup never fails, it only declines to tune.
+
+    The returned config is re-validated against the *actual* fabric:
+    a stored UD chunk wider than this fabric's MTU is clamped down.
+    """
+    store = store or ProfileStore.default()
+    p = n_hosts if n_hosts is not None else fabric.topology.n_hosts
+    link_gbit = fabric.link_bandwidth * 8.0 / 1e9
+    kind = fabric.topology.kind
+    if kind == "leaf_spine" and p == 188:
+        # Topology.testbed_188() is built as a leaf_spine; the store keys
+        # it under the same name Scenario.resolved_topo uses.
+        kind = "testbed_188"
+    if kind not in ("star", "leaf_spine", "testbed_188", "back_to_back"):
+        return CollectiveConfig()
+
+    matches: List[TuningProfile] = []
+    for profile in store.profiles():
+        key = profile.key
+        if (key["collective"] == collective
+                and key["topology"] == kind
+                and key["n_hosts"] == p
+                and key["fault_profile"] == fault_profile
+                and abs(float(key["link_gbit"]) - link_gbit) < 1e-6):
+            matches.append(profile)
+    if not matches:
+        return CollectiveConfig()
+    if msg_bytes is not None:
+        bucket = size_bucket(msg_bytes)
+        exact = [m for m in matches if m.key["bucket"] == bucket]
+        matches = exact or sorted(
+            matches, key=lambda m: abs(int(m.key["bucket"]) - bucket))
+    else:
+        matches = sorted(matches, key=lambda m: -int(m.key["bucket"]))
+    chosen = matches[0]
+
+    knobs = dict(chosen.knobs)
+    chunk = int(knobs.get("chunk_size", 4096))
+    if knobs.get("transport", "ud") == "ud" and chunk > fabric.mtu:
+        chunk = fabric.mtu
+    if collective == "allgather" and msg_bytes is not None:
+        # Shard boundaries must align with chunk boundaries; halve the
+        # (power-of-two) chunk until it divides the actual message.
+        while chunk > 4096 and msg_bytes % chunk != 0:
+            chunk //= 2
+    knobs["chunk_size"] = chunk
+    config = config_from_knobs(knobs)
+    config.validate(fabric)
+    return config

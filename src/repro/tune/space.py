@@ -1,0 +1,183 @@
+"""Knob domains and validity constraints of the tuning search space.
+
+The space is declared per scenario: domains are trimmed to what the
+deployment point can express (chunks no larger than the message, chains
+no longer than the communicator, subgroup counts that still leave every
+subgroup at least one chunk), then every enumerated candidate is checked
+against the real :meth:`~repro.core.communicator.CollectiveConfig.validate`
+on a fabric with the candidate's evaluation MTU — the tuner can never
+propose a config the Communicator would reject.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.communicator import CollectiveConfig
+from repro.models.footprint import BF3_MAX_RECV_QUEUE
+from repro.net.fabric import Fabric
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.tune.scenario import Scenario
+
+__all__ = ["KnobDomain", "SearchSpace"]
+
+#: finest chunk granularity (the IB MTU the cost models are calibrated at)
+BASE_CHUNK = 4096
+#: coarsest chunk the tuner considers (fig 15's sweep ceiling)
+MAX_CHUNK = 64 * 1024
+
+
+@dataclass(frozen=True)
+class KnobDomain:
+    """One knob's finite candidate set."""
+
+    name: str
+    values: Tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"empty domain for knob {self.name!r}")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"duplicate values in domain {self.name!r}")
+
+
+@dataclass
+class SearchSpace:
+    """A finite grid over :class:`CollectiveConfig` knobs.
+
+    ``domains`` maps knob name → :class:`KnobDomain`; every name must be
+    a ``CollectiveConfig`` field.  :meth:`candidates` enumerates the
+    cartesian product, drops structurally impossible combinations, and
+    validates the survivors through ``CollectiveConfig.validate``.
+    """
+
+    scenario: Scenario
+    domains: Dict[str, KnobDomain] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def default(cls, scenario: Scenario) -> "SearchSpace":
+        """The stock grid for a scenario (a few hundred points at most).
+
+        Chunk sizes are powers of two from the base MTU up to the
+        message bucket; parallelism knobs stop at the paper's §IV-C
+        operating points (4 subgroups / 4 chains); batching and staging
+        cover the §V-A and §III-D regimes.  Lossy fault profiles add the
+        cutoff-timer family (§III-C) — on a clean fabric the cutoff
+        never fires, so searching it would waste evaluations.
+        """
+        n = scenario.bucket
+        chunks = tuple(
+            c for c in (4096, 8192, 16384, 32768, 65536)
+            if BASE_CHUNK <= c <= min(MAX_CHUNK, n) and n % c == 0
+        ) or (min(BASE_CHUNK, n),)
+        max_par = max(1, n // max(chunks))
+        subgroups = tuple(s for s in (1, 2, 4) if s <= max_par)
+        chains = (
+            tuple(m for m in (1, 2, 4) if m <= scenario.n_hosts)
+            if scenario.collective == "allgather" else (1,)
+        )
+        domains = {
+            "chunk_size": KnobDomain("chunk_size", chunks),
+            "n_subgroups": KnobDomain("n_subgroups", subgroups),
+            "n_chains": KnobDomain("n_chains", chains),
+            "batch_size": KnobDomain("batch_size", (8, 32, 64)),
+            "max_outstanding_batches": KnobDomain(
+                "max_outstanding_batches", (2, 4, 8)),
+            "staging_slots": KnobDomain(
+                "staging_slots",
+                tuple(s for s in (128, 256, 512) if s <= BF3_MAX_RECV_QUEUE)),
+        }
+        if scenario.fault_profile != "clean":
+            domains["cutoff_alpha"] = KnobDomain(
+                "cutoff_alpha", (100e-6, 200e-6, 400e-6))
+            domains["adaptive_cutoff"] = KnobDomain(
+                "adaptive_cutoff", (True, False))
+        return cls(scenario=scenario, domains=domains)
+
+    # --------------------------------------------------------- enumeration
+
+    @property
+    def n_points(self) -> int:
+        total = 1
+        for d in self.domains.values():
+            total *= len(d.values)
+        return total
+
+    def _grid(self) -> Iterator[Dict[str, object]]:
+        names = sorted(self.domains)
+        for combo in itertools.product(*(self.domains[k].values for k in names)):
+            yield dict(zip(names, combo))
+
+    def _structurally_valid(self, knobs: Dict[str, object]) -> bool:
+        scn = self.scenario
+        chunk = int(knobs.get("chunk_size", BASE_CHUNK))
+        if scn.collective == "allgather" and scn.bucket % chunk != 0:
+            return False
+        # Every subgroup must carry at least one chunk of a sender's block.
+        chunks_per_rank = max(scn.bucket // chunk, 1)
+        if int(knobs.get("n_subgroups", 1)) > chunks_per_rank:
+            return False
+        if int(knobs.get("n_chains", 1)) > scn.n_hosts:
+            return False
+        return True
+
+    def evaluation_mtu(self, chunk: int) -> int:
+        """The fabric MTU a candidate simulates at.
+
+        UD datagrams carry one chunk, so the simulation granularity
+        follows the chunk (exactly like the benchmark harness); UC
+        chunks legitimately span multiple base-MTU packets (§V-B).
+        """
+        return chunk if self.scenario.transport == "ud" else BASE_CHUNK
+
+    def _validation_fabric(self, mtu: int,
+                           cache: Dict[int, Fabric]) -> Fabric:
+        # validate() needs a real fabric only for its MTU; a 2-host one
+        # is enough and keeps enumeration at 188 hosts instant.
+        if mtu not in cache:
+            cache[mtu] = Fabric(Simulator(), Topology.back_to_back(), mtu=mtu)
+        return cache[mtu]
+
+    def candidates(self) -> List[Dict[str, object]]:
+        """Every valid knob assignment, in deterministic order.
+
+        Each entry is a plain dict of ``CollectiveConfig`` overrides
+        (the profile-store exchange format); materialize one with
+        :func:`repro.tune.store.config_from_knobs`.
+        """
+        from repro.tune.store import config_from_knobs
+
+        fabrics: Dict[int, Fabric] = {}
+        out: List[Dict[str, object]] = []
+        for knobs in self._grid():
+            if not self._structurally_valid(knobs):
+                continue
+            knobs = dict(knobs, transport=self.scenario.transport)
+            cfg = config_from_knobs(knobs)
+            try:
+                cfg.validate(self._validation_fabric(
+                    self.evaluation_mtu(cfg.chunk_size), fabrics))
+            except ValueError:
+                continue
+            out.append(knobs)
+        return out
+
+    def baseline_knobs(self) -> Dict[str, object]:
+        """The knob dict equivalent to a stock :class:`CollectiveConfig`
+        (the untuned reference every search must measure and may never
+        lose to)."""
+        default = CollectiveConfig()
+        return {
+            "chunk_size": min(default.chunk_size, self.scenario.bucket),
+            "n_subgroups": default.n_subgroups,
+            "n_chains": default.n_chains,
+            "batch_size": default.batch_size,
+            "max_outstanding_batches": default.max_outstanding_batches,
+            "staging_slots": default.staging_slots,
+            "transport": self.scenario.transport,
+        }

@@ -44,3 +44,38 @@ def test_cli_trace_writes_chrome_json(tmp_path, capsys):
     doc = json.loads(out_path.read_text())
     assert doc["traceEvents"], "trace export is empty"
     assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+def test_cli_tune_search_then_cache_hit(tmp_path, capsys):
+    log_path = tmp_path / "search-log.json"
+    argv = ["tune", "--hosts", "4", "--topo", "star", "--bytes", "16384",
+            "--max-evals", "2", "--store", str(tmp_path / "store")]
+    assert main(argv + ["--log", str(log_path)]) == 0
+    out = capsys.readouterr().out
+    assert "searched:" in out and "best knobs:" in out
+    log = json.loads(log_path.read_text())
+    assert log["cache_hit"] is False and log["log"]
+
+    # Same key again: a pure cache hit, asserted by the CLI itself.
+    assert main(argv + ["--expect-cache-hit"]) == 0
+    out = capsys.readouterr().out
+    assert "cache hit:" in out
+    assert "evaluations=0, sim_events=0" in out
+
+
+def test_cli_tune_expect_cache_hit_fails_on_miss(tmp_path, capsys):
+    assert main(["tune", "--hosts", "4", "--topo", "star", "--bytes", "16384",
+                 "--max-evals", "2", "--store", str(tmp_path / "store"),
+                 "--expect-cache-hit"]) == 3
+    assert "expected a cache hit" in capsys.readouterr().out
+
+
+def test_cli_tune_list_and_show(capsys):
+    assert main(["tune", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "allgather" in out and "188" in out and "gain" in out
+
+    assert main(["tune", "--show", "allgather-testbed_188"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["key"]["n_hosts"] == 188
+    assert main(["tune", "--show", "no-such-profile"]) == 1

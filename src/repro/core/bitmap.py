@@ -102,6 +102,33 @@ class Bitmap:
 
     # -------------------------------------------------------------- queries
 
+    def any_set_in_range(self, start: int, n: int) -> bool:
+        """True if any bit in ``[start, start + n)`` is set — one masked
+        word test per 64 bits.  The receiver-batch eligibility gate uses
+        this as its duplicate probe over a contiguous PSN train instead of
+        ``n`` per-bit :meth:`test` calls."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return False
+        end = start + n
+        if not (0 <= start and end <= self.n_bits):
+            raise IndexError(
+                f"range [{start}, {end}) out of range ({self.n_bits})"
+            )
+        words = self._words
+        w_lo, b_lo = start >> 6, start & 63
+        w_hi, b_hi = (end - 1) >> 6, ((end - 1) & 63) + 1
+        for w in range(w_lo, w_hi + 1):
+            mask = _WORD_MASK
+            if w == w_lo:
+                mask &= _WORD_MASK << b_lo
+            if w == w_hi:
+                mask &= _WORD_MASK >> (_WORD_BITS - b_hi)
+            if words[w] & mask:
+                return True
+        return False
+
     def test(self, i: int) -> bool:
         if not 0 <= i < self.n_bits:
             raise IndexError(f"bit {i} out of range ({self.n_bits})")

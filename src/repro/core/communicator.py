@@ -90,6 +90,11 @@ class CollectiveConfig:
     staging_slots: int = 256
     #: immediate-data bits allocated to the PSN (Fig 7 trade-off)
     psn_bits: int = 24
+    #: receiver-batch fast path: consume an eligible CQE train in one
+    #: process wake (aggregated timeout, run-coalesced DMA, bulk WR
+    #: repost).  Virtual-time results are bit-identical either way; off
+    #: reproduces the per-CQE datapath event-for-event.
+    recv_batching: bool = True
     #: cutoff-timer slack α (§III-C): timeout = N/B_link + α
     cutoff_alpha: float = 200e-6
     #: re-arm slack between recovery rounds
@@ -694,6 +699,8 @@ class Communicator:
             "sim_events": self.sim.events_processed,
             "trains": self.fabric.total_trains(),
             "train_packets": self.fabric.total_train_packets(),
+            "cqe_batches": sum(e.cqe_batches for e in self.engines),
+            "batched_cqes": sum(e.batched_cqes for e in self.engines),
         }
 
     def _run_sync(self, handle: Union[OpHandle, ReduceScatterHandle]) -> CollectiveResult:

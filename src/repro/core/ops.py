@@ -62,6 +62,11 @@ class OpState:
     retry_histogram: List[int] = field(init=False)
     #: cutoff/recovery timer decisions: (virtual time, timeout armed, why)
     timer_trace: List[Tuple[float, float, str]] = field(init=False)
+    #: absolute instant the controller's cutoff timer will next fire
+    #: (+inf until armed).  The receiver-batch eligibility gate refuses a
+    #: batch whose replay window straddles this instant, so no recovery
+    #: can read or mutate the bitmap mid-replay.
+    cutoff_deadline: float = field(init=False, default=float("inf"))
 
     def __post_init__(self) -> None:
         n = self.plan.n_chunks

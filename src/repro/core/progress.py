@@ -39,7 +39,7 @@ from repro.core.reliability import CutoffEstimator, ReliabilityError, backoff_de
 from repro.core.staging import StagingRing
 from repro.net.dma import DmaEngine
 from repro.net.nic import RecvWR, SendWR, Transport
-from repro.sim.events import AnyOf, Timeout
+from repro.sim.events import PASSIVE_WAIT, AnyOf, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.communicator import Communicator
@@ -93,9 +93,10 @@ class RankEngine:
                 qp.attach_mcast(comm.mcast_gids[sg])
             if uc:
                 # UC places data directly; receives only consume immediates.
-                for i in range(cfg.staging_slots):
-                    qp.post_recv(RecvWR(wr_id=i, mr_key=self._dummy_mr.key,
-                                        offset=0, length=0))
+                qp.post_recv_batch([
+                    RecvWR(wr_id=i, mr_key=self._dummy_mr.key, offset=0, length=0)
+                    for i in range(cfg.staging_slots)
+                ])
                 self.stagings.append(None)
             else:
                 ring = StagingRing(self.nic, cfg.staging_slots, cfg.chunk_size)
@@ -105,12 +106,30 @@ class RankEngine:
 
         from repro.core.subgroups import SubgroupPlan
 
+        #: receiver-batch telemetry, summed into CollectiveResult.engine
+        self.cqe_batches = 0
+        self.batched_cqes = 0
+        self._recv_procs: Dict[int, object] = {}
         n_workers = cfg.recv_workers or cfg.n_subgroups
-        for worker_id, sgs in enumerate(
-            SubgroupPlan.worker_mapping(cfg.n_subgroups, n_workers)
-        ):
+        mapping = [
+            sgs for sgs in SubgroupPlan.worker_mapping(cfg.n_subgroups, n_workers)
+        ]
+        # The UD batch fast path pre-computes this rank's DMA chain; that
+        # is only exact when no sibling worker can interleave copies on
+        # the shared engine mid-replay.
+        self._batch_ud_ok = sum(1 for sgs in mapping if sgs) == 1
+        if cfg.recv_batching:
+            # Opt single-QP workers' QPs into batched train delivery: the
+            # NIC then pushes a whole train's CQEs in one event, stamped
+            # with their exact per-packet arrival instants.  A multi-QP
+            # worker must see cross-QP arrival interleaving, so its QPs
+            # keep per-packet delivery.
+            for sgs in mapping:
+                if len(sgs) == 1:
+                    self.sub_qps[sgs[0]].batch_delivery = True
+        for worker_id, sgs in enumerate(mapping):
             if sgs:
-                self.sim.spawn(
+                self._recv_procs[worker_id] = self.sim.spawn(
                     self._recv_worker(worker_id, sgs), name=f"rxw{worker_id}-r{rank}"
                 )
         self.sim.spawn(self._fetch_server(), name=f"fetchsrv-r{rank}")
@@ -149,16 +168,43 @@ class RankEngine:
     # ----------------------------------------------------------- recv worker
 
     def _recv_worker(self, worker_id: int, subgroups: List[int]):
-        """Receive datapath (paper Fig 6): poll → bitmap → copy → re-post."""
+        """Receive datapath (paper Fig 6): poll → bitmap → copy → re-post.
+
+        Each wake polls a snapshot of CQEs per CQ.  When the receiver-batch
+        eligibility gate holds for a prefix of the snapshot
+        (:meth:`_try_recv_batch`), that prefix is consumed in **one**
+        process wake — the per-CQE instants are replayed through bare
+        callbacks and one absolute-time sleep — and any remainder falls
+        back to the per-CQE slow path below, mid-batch, at the exact
+        virtual time the slow path would have reached it.  Idle waits park
+        on the CQ notify edge instead of allocating Event/AnyOf wrappers.
+        """
         cfg = self.config
         cost = self.cost
         uc = cfg.transport == "uc"
         qps = [self.sub_qps[sg] for sg in subgroups]
+        batching = cfg.recv_batching
+        wake = self._recv_procs[worker_id].wake
         while True:
             if not any(len(qp.recv_cq) for qp in qps):
-                yield AnyOf(self.sim, [qp.recv_cq.wait() for qp in qps])
+                for qp in qps:
+                    qp.recv_cq.set_notify(wake)
+                yield PASSIVE_WAIT
             for sg, qp in zip(subgroups, qps):
-                for cqe in qp.recv_cq.poll():
+                cqes = qp.recv_cq.poll()
+                start = 0
+                if batching and len(cqes) >= 2:
+                    batched, t_end = self._try_recv_batch(sg, qp, cqes, uc)
+                    if batched:
+                        start = batched
+                        yield self.sim.wake_at(t_end)
+                for idx in range(start, len(cqes)):
+                    cqe = cqes[idx]
+                    if cqe.timestamp > self.sim.now:
+                        # Batch-delivered CQE whose packet has not "arrived"
+                        # yet: hold processing to its true arrival instant
+                        # (per-packet delivery would have parked us here).
+                        yield self.sim.wake_at(cqe.timestamp)
                     # Straggler injection: a slow receiver pays extra per
                     # poll, so its staging ring backs up into RNR drops.
                     stall = self.fabric.straggler_delay(self.nic.host, self.sim.now)
@@ -205,6 +251,213 @@ class RankEngine:
                     copy_done.subscribe(
                         self._make_copy_callback(op, staging, slot, qp, psn)
                     )
+
+    # ----------------------------------------------------- recv batch fast path
+
+    def _try_recv_batch(self, sg: int, qp, cqes, uc: bool):
+        """Gate + apply the receiver-batch fast path over a CQE snapshot.
+
+        Returns ``(n_batched, t_end)``: the batched prefix length (0 when
+        the gate fails outright) and the absolute instant the worker must
+        resume — exactly where the per-CQE path would have finished the
+        prefix.  The replayed schedule is additive in the same order the
+        slow path adds its Timeouts, so every instant is bit-identical.
+
+        Eligibility (any miss ⇒ the offending CQE and everything after it
+        take the slow path):
+
+        * no straggler window overlaps the projected replay window
+          (stall terms are exactly ``0.0``, which is float-inert);
+        * UD only: a single receive worker owns this rank's DMA engine,
+          every CQE decodes to the *same* live op, carries an immediate,
+          is neither a duplicate nor an in-batch repeat, and the op has no
+          recovery active or armable inside the window (the bitmap has no
+          concurrent reader/writer, so bits may be set eagerly at t0);
+        * UC: per-CQE effects are replayed verbatim at their exact
+          instants (duplicates included — they do not alter UC timing),
+          so only the straggler check applies.
+        """
+        cost = self.cost
+        now = self.sim.now
+        c1 = cost.cqe_poll + cost.cqe_process
+        if uc:
+            c2 = cost.recv_repost
+            decode = self.imm.decode
+            t = now
+            insts = []
+            decoded = []
+            for cqe in cqes:
+                psn, cid = decode(cqe.imm or 0)
+                op = self.ops.get(cid)
+                if op is not None and psn >= op.bitmap.n_bits:
+                    break  # corrupt PSN: let the slow path raise in-process
+                a = cqe.timestamp  # anchor: arrival if the worker would idle
+                if a < t:
+                    a = t
+                t = a + c1
+                t = t + c2
+                insts.append(t)
+                decoded.append((cqe.wr_id, psn, cid))
+            if len(decoded) < 2:
+                return 0, 0.0
+            t_end = insts[-1]
+            if not self.fabric.straggler_inert(self.nic.host, now, t_end):
+                return 0, 0.0
+            post = self.sim.post_at
+            replay = self._uc_replay
+            for (wr_id, psn, cid), when in zip(decoded, insts):
+                post(when, replay, qp, wr_id, psn, cid)
+            k = len(decoded)
+            self.cqe_batches += 1
+            self.batched_cqes += k
+            if self.trace is not None:
+                self.trace.instant("cq.batch", now, {"cqes": k})
+            return k, t_end
+
+        if not self._batch_ud_ok:
+            return 0, 0.0
+        decode = self.imm.decode
+        ops_map = self.ops
+        c2 = cost.copy_issue + cost.recv_repost
+        t = now
+        op = None
+        psns: List[int] = []
+        issues: List[float] = []
+        seen = set()
+        for cqe in cqes:
+            imm = cqe.imm
+            if imm is None:
+                break
+            psn, cid = decode(imm)
+            o = ops_map.get(cid)
+            if o is None or (op is not None and o is not op):
+                break
+            if op is None:
+                if o.stats["recoveries"]:
+                    break  # a recovery may hold bitmap state mid-flight
+                op = o
+            if psn >= op.bitmap.n_bits or psn in seen or op.bitmap.test(psn):
+                break
+            seen.add(psn)
+            psns.append(psn)
+            a = cqe.timestamp  # anchor: arrival if the worker would idle
+            if a < t:
+                a = t
+            t = a + c1
+            t = t + c2
+            issues.append(t)
+        k = len(psns)
+        if k < 2:
+            return 0, 0.0
+        t_end = issues[-1]
+        if op.cutoff_deadline <= t_end:
+            return 0, 0.0  # the cutoff could fire (and recover) mid-replay
+        if not self.fabric.straggler_inert(self.nic.host, now, t_end):
+            return 0, 0.0
+        self._apply_ud_batch(sg, qp, op, cqes[:k], psns, issues)
+        return k, t_end
+
+    def _apply_ud_batch(self, sg: int, qp, op: OpState, cqes, psns, issues) -> None:
+        """Consume an eligible UD CQE train at the current instant.
+
+        Local-only state (bitmap bits, stats, outstanding-copy count,
+        staging holds) moves to t0 in bulk — nothing can observe it before
+        the replay's own instants, because the op's last copy is still
+        outstanding until past ``t_end`` and the recovery gate excluded
+        every other bitmap reader.  Externally visible effects keep their
+        exact per-CQE instants: each slot's repost + ``placed`` bit ride
+        its own DMA completion callback via :meth:`DmaEngine.copy_runs`.
+        """
+        k = len(psns)
+        staging = self.stagings[sg]
+        assert staging is not None
+        slots = [cqe.wr_id for cqe in cqes]
+        views = staging.on_cqe_batch(slots)
+        bitmap = op.bitmap
+        i = 0
+        while i < k:  # contiguous ascending PSN runs take the bulk path
+            j = i + 1
+            while j < k and psns[j] == psns[j - 1] + 1:
+                j += 1
+            if j - i > 1:
+                bitmap.set_range(psns[i], j - i)
+            else:
+                bitmap.set(psns[i])
+            i = j
+        op.stats["chunks_received"] += k
+        op.outstanding_copies += k
+        bounds = op.plan.bounds
+        mr_view = op.mr.view
+        slot_size = staging.slot_size
+        done = self._batch_slot_done
+        # Group adjacent slots (consecutive ring slots AND consecutive
+        # full-size chunks) into spanning scatter-gather segments.
+        segments = []
+        seg_slot0 = seg_off0 = seg_len = -1
+        seg_ops: List[tuple] = []
+        for idx in range(k):
+            psn = psns[idx]
+            slot = slots[idx]
+            off, ln = bounds(psn)
+            entry = (ln, issues[idx], done, (op, staging, slot, qp, psn))
+            if (seg_ops
+                    and slot == seg_slot0 + len(seg_ops)
+                    and off == seg_off0 + seg_len
+                    and seg_ops[-1][0] == slot_size):
+                seg_ops.append(entry)
+                seg_len += ln
+            else:
+                if seg_ops:
+                    segments.append((
+                        staging.mr.view(seg_slot0 * slot_size, seg_len),
+                        mr_view(seg_off0, seg_len),
+                        seg_ops,
+                    ))
+                seg_slot0, seg_off0, seg_len = slot, off, ln
+                seg_ops = [entry]
+        segments.append((
+            staging.mr.view(seg_slot0 * slot_size, seg_len),
+            mr_view(seg_off0, seg_len),
+            seg_ops,
+        ))
+        last_done = self.dma.copy_runs(segments)
+        self.cqe_batches += 1
+        self.batched_cqes += k
+        trc = self.trace
+        if trc is not None:
+            now = self.sim.now
+            trc.instant("cq.batch", now, {"cqes": k})
+            trc.counter("staging.hold", now, staging.held)
+            trc.complete("dma.copy_runs", issues[0], last_done - issues[0],
+                         {"copies": k, "segments": len(segments)})
+
+    def _batch_slot_done(self, op: OpState, staging: StagingRing, slot: int,
+                         qp, psn: int) -> None:
+        """DMA-completion bookkeeping for one batched slot, at the exact
+        per-op completion instant (scheduled by :meth:`DmaEngine.copy_runs`
+        as a bound method + args — no per-slot closure allocation)."""
+        staging.repost(slot, qp)
+        op.outstanding_copies -= 1
+        op.placed.set(psn)
+        if self.trace is not None:
+            self.trace.counter("staging.hold", self.sim.now, staging.held)
+        op.maybe_complete()
+
+    def _uc_replay(self, qp, wr_id: int, psn: int, cid: int) -> None:
+        """Exact-instant replay of one batched UC CQE's effects: recycle
+        the WR, update bitmaps, maybe complete (a bare callback — no
+        Timeout events, no process resume)."""
+        qp.post_recv(RecvWR(wr_id=wr_id, mr_key=self._dummy_mr.key,
+                            offset=0, length=0))
+        op = self.ops.get(cid)
+        if op is None:
+            return
+        if op.bitmap.set(psn):
+            op.stats["chunks_received"] += 1
+            op.placed.set(psn)
+        else:
+            op.stats["duplicates"] += 1
+        op.maybe_complete()
 
     def _make_copy_callback(self, op: OpState, staging: StagingRing, slot: int, qp,
                             psn: int):
@@ -534,6 +787,7 @@ class RankEngine:
         slack = self.cutoff.slack() if cfg.adaptive_cutoff else cfg.cutoff_alpha
         armed_at = self.sim.now
         deadline = armed_at + expected + slack
+        op.cutoff_deadline = deadline  # published for the batch-eligibility gate
         op.record_timer(expected + slack, "cutoff-arm")
         trc = self.trace
         if trc is not None:
@@ -562,6 +816,7 @@ class RankEngine:
                 recovery_deadline_abs = self.sim.now + cfg.recovery_deadline
             yield from self.run_recovery(op, participants, recovery_deadline_abs)
             deadline = self.sim.now + cfg.recovery_alpha
+            op.cutoff_deadline = deadline
         if cfg.adaptive_cutoff:
             if op.stats["recoveries"]:
                 self.cutoff.on_recovery()

@@ -74,14 +74,33 @@ class StagingRing:
 
     def prime(self, qp: QueuePair) -> int:
         """Post every free slot to *qp*'s receive queue; returns how many."""
-        n = 0
+        wrs = []
         while self._free:
             slot = self._free.popleft()
-            qp.post_recv(self._wrs[slot])
+            wrs.append(self._wrs[slot])
             self._state[slot] = _POSTED
-            self._posted_count += 1
-            n += 1
-        return n
+        if wrs:
+            qp.post_recv_batch(wrs)
+            self._posted_count += len(wrs)
+        return len(wrs)
+
+    def on_cqe_batch(self, slots) -> list:
+        """Bulk :meth:`on_cqe`: mark every slot held, return their views.
+
+        The receiver-batch fast path consumes a whole CQE train in one
+        wake; marking the train's slots held in one call keeps the
+        occupancy counters O(1) per batch instead of O(1) per slot."""
+        views = []
+        state = self._state
+        for slot in slots:
+            self._check(slot)
+            if state[slot] != _POSTED:
+                raise RuntimeError(f"slot {slot} completed but was not posted")
+            state[slot] = _HELD
+            views.append(self.slot_view(slot))
+        self._posted_count -= len(views)
+        self._held_count += len(views)
+        return views
 
     def on_cqe(self, slot: int) -> np.ndarray:
         """Mark *slot* as held by the datapath; returns its memory view."""
@@ -98,7 +117,7 @@ class StagingRing:
         self._check(slot)
         if self._state[slot] != _HELD:
             raise RuntimeError(f"slot {slot} reposted but was not held")
-        qp.post_recv(self._wrs[slot])
+        qp.post_recv_cached(self._wrs[slot])
         self._state[slot] = _POSTED
         self._held_count -= 1
         self._posted_count += 1

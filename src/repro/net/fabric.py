@@ -217,6 +217,13 @@ class Fabric:
         spec = self._stragglers.get(host)
         return spec.delay_at(now) if spec is not None else 0.0
 
+    def straggler_inert(self, host: int, t0: float, t1: float) -> bool:
+        """True when every straggler sample on *host* over ``[t0, t1]``
+        would return 0 — the receiver-batch eligibility gate (the host-side
+        mirror of :meth:`Channel._train_inert`)."""
+        spec = self._stragglers.get(host)
+        return spec is None or spec.inert_over(t0, t1)
+
     def one_way_delay(self, src: int, dst) -> float:
         """Propagation-only delay estimate host→host (for ack modeling)."""
         if isinstance(dst, int) and dst >= 0 and dst < self.n_hosts and not isinstance(dst, bool):

@@ -144,3 +144,14 @@ class StragglerSpec:
             if w.contains(t):
                 return self.extra_poll_delay
         return 0.0
+
+    def inert_over(self, t0: float, t1: float) -> bool:
+        """True when no window overlaps ``[t0, t1]`` — every
+        :meth:`delay_at` sample inside the interval returns 0, so a
+        batched replay of per-CQE polls over the interval is exact."""
+        if self.extra_poll_delay == 0.0:
+            return True
+        for w in self.windows:
+            if w.start <= t1 and w.end > t0:
+                return False
+        return True

@@ -132,13 +132,42 @@ class CompletionQueue:
         self.items: Deque[CQE] = collections.deque()
         self._waiters: Deque[Event] = collections.deque()
         self.total_pushed = 0
+        #: one-shot batch-notify callback (see :meth:`set_notify`)
+        self.notify_cb = None
 
     def push(self, cqe: CQE) -> None:
-        cqe.timestamp = self.sim.now
+        self.push_at(cqe, self.sim.now)
+
+    def push_at(self, cqe: CQE, t: float) -> None:
+        """Push a CQE stamped with an explicit completion instant *t*.
+
+        Batched train delivery pushes a whole train's CQEs in one event at
+        the first arrival, each stamped with its true per-packet arrival;
+        the consumer anchors its per-CQE processing at
+        ``max(previous end, cqe.timestamp)``, which reproduces per-packet
+        delivery timing exactly.
+        """
+        cqe.timestamp = t
         self.items.append(cqe)
         self.total_pushed += 1
+        cb = self.notify_cb
+        if cb is not None:
+            self.notify_cb = None
+            cb()
         while self._waiters:
             self._waiters.popleft().succeed()
+
+    def set_notify(self, fn) -> None:
+        """Arm a one-shot callback invoked synchronously on the next push.
+
+        The lightweight sibling of :meth:`wait` for the hot receive edge:
+        no Event allocation, no subscription churn — the consumer (a
+        passively-parked receive worker) re-arms before each park.  The
+        callback is disarmed before it runs, so it may poll and re-arm.
+        Callers arm only when the queue is empty; a callback armed on a
+        non-empty queue fires on the *next* push, not immediately.
+        """
+        self.notify_cb = fn
 
     def poll(self, max_entries: Optional[int] = None) -> List[CQE]:
         """Drain up to ``max_entries`` completions (non-blocking)."""
@@ -180,6 +209,12 @@ class QueuePair:
         self.peer: Optional[Tuple[int, int]] = None  # (host, qpn)
         self.mcast_groups: Set[int] = set()
         self.rnr_drops = 0
+        #: opt-in to batched train delivery (one event per train instead of
+        #: per-packet replay).  Only the progress engine sets this, and only
+        #: for QPs whose receive worker drains exactly this one QP — a
+        #: multi-QP worker must observe cross-QP arrival interleaving, which
+        #: batched delivery would reorder.
+        self.batch_delivery = False
 
     # ----------------------------------------------------------- connection
 
@@ -209,6 +244,34 @@ class QueuePair:
         self.nic.memory.lookup(wr.mr_key).check(wr.offset, wr.length)  # validate
         self.recv_queue.append(wr)
         self.nic._drain_rc_pending(self)
+
+    def post_recv_cached(self, wr: RecvWR) -> None:
+        """Re-post a cached, previously validated WR (paper §V-A "fast
+        re-posting"): identical to :meth:`post_recv` minus the MR
+        validation, which already ran when the WR was first posted."""
+        if len(self.recv_queue) >= self.max_recv_wr:
+            raise RuntimeError(f"QP {self.qpn}: receive queue full ({self.max_recv_wr})")
+        self.recv_queue.append(wr)
+        self.nic._drain_rc_pending(self)
+
+    def post_recv_batch(self, wrs: List[RecvWR]) -> None:
+        """Post many receive WRs at one instant (bulk repost / ring prime).
+
+        Equivalent to ``post_recv`` per WR — same validation, same parked
+        RC completions drained — with one capacity check up front and a
+        single queue extension.
+        """
+        if len(self.recv_queue) + len(wrs) > self.max_recv_wr:
+            raise RuntimeError(
+                f"QP {self.qpn}: posting {len(wrs)} WRs overflows receive "
+                f"queue ({len(self.recv_queue)}/{self.max_recv_wr})"
+            )
+        lookup = self.nic.memory.lookup
+        for wr in wrs:
+            lookup(wr.mr_key).check(wr.offset, wr.length)  # validate
+        self.recv_queue.extend(wrs)
+        for _ in wrs:
+            self.nic._drain_rc_pending(self)
 
     def post_send(self, wr: SendWR) -> None:
         self._validate_send(wr)
@@ -529,12 +592,22 @@ class Nic:
         arrival instants: deliver every packet due now, then chain ONE
         event for the next pending arrival.  State-dependent receive
         decisions (RNR drops, CQE timestamps, staging occupancy) therefore
-        see the same world as per-packet simulation."""
+        see the same world as per-packet simulation.
+
+        When the whole remaining train targets one batch-delivery QP and
+        no state-dependent decision can differ (:meth:`_train_batch_qp`),
+        the train is consumed HERE, in this one event: payloads land and
+        CQEs are pushed immediately, each stamped with its exact per-packet
+        arrival instant for the consumer to anchor on."""
         pkts = train.packets
         arr = train.arrivals
         n = len(pkts)
         i = train.next_idx
         now = self.sim.now
+        qp = self._train_batch_qp(pkts, i)
+        if qp is not None:
+            self._deliver_train_batch(qp, pkts, arr, i)
+            return
         receive = self.receive
         while i < n and arr[i] <= now:
             receive(pkts[i], channel)
@@ -542,6 +615,99 @@ class Nic:
         if i < n:
             train.next_idx = i
             self.sim.post_at(arr[i], self.receive_train, train, channel)
+
+    def _train_batch_qp(self, pkts: List[Packet], i: int) -> Optional[QueuePair]:
+        """Eligibility gate for batched train delivery.
+
+        Returns the single target QP when delivering ``pkts[i:]`` in one
+        event is bit-equivalent to per-packet replay, else ``None``:
+
+        * every packet is a multicast UD send (or single-segment multicast
+          UC write carrying an immediate) to the *same* group;
+        * exactly one local QP is attached to that group, and it opted in
+          via :attr:`QueuePair.batch_delivery`;
+        * enough receive WRs are posted for the whole train, and (UD) every
+          payload fits its WR — so no RNR/length drop can occur mid-train.
+          Inbound packets to one host serialize on its ingress link, so no
+          other arrival can observe the early queue pops mid-window.
+        """
+        first = pkts[i]
+        kind = first.kind
+        if kind is PacketKind.UD_SEND:
+            uc = False
+        elif kind is PacketKind.UC_WRITE:
+            uc = True
+        else:
+            return None
+        if not first.is_multicast:
+            return None
+        gid = first.mcast_gid
+        n = len(pkts)
+        for k in range(i, n):
+            p = pkts[k]
+            if p.kind is not kind or not p.is_multicast or p.mcast_gid != gid:
+                return None
+            if uc and (p.msg_segments != 1 or p.imm is None):
+                return None
+        qpns = self._mcast_attached.get(gid)
+        if qpns is None or len(qpns) != 1:
+            return None
+        qp = self.qps.get(next(iter(qpns)))
+        if qp is None or not qp.batch_delivery:
+            return None
+        if len(qp.recv_queue) < n - i:
+            return None
+        if uc:
+            lookup = self.memory.lookup
+            for k in range(i, n):
+                p = pkts[k]
+                try:
+                    lookup(p.ctx["remote_key"]).check(
+                        p.ctx["remote_offset"], p.payload_len)
+                except (KeyError, IndexError):
+                    return None  # UC would silently drop: replay per-packet
+        else:
+            for wr, k in zip(qp.recv_queue, range(i, n)):
+                if pkts[k].payload_len > wr.length:
+                    return None
+        return qp
+
+    def _deliver_train_batch(self, qp: QueuePair, pkts: List[Packet],
+                             arr, i: int) -> None:
+        """Consume ``pkts[i:]`` for *qp* now; CQEs carry arrival stamps."""
+        trc = self.trace
+        pop = qp.recv_queue.popleft
+        push_at = qp.recv_cq.push_at
+        lookup = self.memory.lookup
+        qpn = qp.qpn
+        uc = pkts[i].kind is PacketKind.UC_WRITE
+        opcode = Opcode.RECV_RDMA_WITH_IMM if uc else Opcode.RECV
+        mr_key = -1  # one-entry MR cache: a train lands in one region
+        mr = None
+        n_pkts = len(pkts) - i
+        self.packets_received += n_pkts
+        for k in range(i, len(pkts)):
+            pkt = pkts[k]
+            t = arr[k]
+            n = pkt.payload_len
+            self.bytes_received += n
+            wr = pop()
+            if uc:
+                ctx = pkt.ctx
+                key = ctx["remote_key"]
+                if key != mr_key:
+                    mr = lookup(key)
+                    mr_key = key
+                if pkt.payload is not None and n:
+                    mr.view(ctx["remote_offset"], n)[:] = pkt.payload[:n]
+            elif pkt.payload is not None and n > 0:
+                if wr.mr_key != mr_key:
+                    mr = lookup(wr.mr_key)
+                    mr_key = wr.mr_key
+                mr.view(wr.offset, n)[:] = pkt.payload[:n]
+            if trc is not None:
+                trc.instant("nic.cqe", t)
+            push_at(CQE(wr.wr_id, opcode, qpn, n, pkt.imm, pkt.src, pkt.src_qpn), t)
 
     def receive(self, packet: Packet, channel: Optional[Channel]) -> None:
         """Called by the delivering channel (or loopback)."""

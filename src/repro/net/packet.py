@@ -157,8 +157,12 @@ class Packet:
         """A shallow copy used when a switch replicates a multicast packet.
 
         The payload view is shared — replication does not copy data, just
-        as a real switch replicates frames out of its shared buffer.
+        as a real switch replicates frames out of its shared buffer.  The
+        ``ctx`` dict is **copied**: it is mutable per-delivery protocol
+        state, and sharing one dict across fanout clones would let one
+        receiver's NIC observe another's mutations.
         """
+        ctx = self.ctx
         return Packet(
             src=self.src,
             dst=self.dst,
@@ -172,7 +176,7 @@ class Packet:
             msg_id=self.msg_id,
             msg_seq=self.msg_seq,
             msg_segments=self.msg_segments,
-            ctx=self.ctx,
+            ctx=dict(ctx) if ctx else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

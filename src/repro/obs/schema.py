@@ -39,6 +39,9 @@ TRACEPOINTS: Dict[str, Any] = {
     "nic.outstanding": ("C", "in-flight send batches for a rank"),
     # -- host datapath ----------------------------------------------------
     "dma.copy": ("X", "staging-slot to user-buffer copy"),
+    "dma.copy_runs": ("X", "run-coalesced staging-to-user DMA batch "
+                          "(args: copies, segments)"),
+    "cq.batch": ("i", "receiver consumed a CQE train in one wake (args: cqes)"),
     "staging.hold": ("C", "staging-ring slots held (received, not copied)"),
     # -- control plane ----------------------------------------------------
     "seq.activate": ("i", "sequencer activation forwarded to successor"),

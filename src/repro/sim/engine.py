@@ -56,6 +56,24 @@ class _Callback:
         self.fn(*self.args)
 
 
+class _WakeAt(Event):
+    """Event backing :meth:`Simulator.wake_at`.
+
+    Pushed on the queue *untriggered* and flips to success exactly when
+    its absolute instant arrives.  Unlike ``Timeout(when - now)`` the
+    target instant is preserved bit-for-bit — no ``now + (when - now)``
+    float round-trip — which is what lets a batched replay resume a
+    process at the exact virtual time the per-item path would have.
+    """
+
+    __slots__ = ()
+
+    def _fire(self) -> None:
+        self._triggered = True
+        self._ok = True
+        Event._fire(self)
+
+
 class _ScheduledCall(Event):
     """Event backing :meth:`Simulator.call_at`.
 
@@ -156,6 +174,20 @@ class Simulator:
             raise SimulationError(f"cannot schedule at {when} < now {self._now}")
         self._seq = seq = self._seq + 1
         heapq.heappush(self._queue, (when, seq, _Callback(fn, args)))
+
+    def wake_at(self, when: float) -> Event:
+        """A waitable that succeeds at the **absolute** virtual time ``when``.
+
+        Used by batch fast paths that pre-compute a replay schedule: the
+        consumer sleeps until the exact instant the per-item slow path
+        would have finished, with no float drift from delay arithmetic.
+        """
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        ev = _WakeAt(self)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (when, seq, ev))
+        return ev
 
     def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Invoke ``fn(*args)`` at absolute virtual time ``when``.

@@ -23,7 +23,38 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
-__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Interrupt", "any_of", "all_of"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "PASSIVE_WAIT",
+    "any_of",
+    "all_of",
+]
+
+
+class _PassiveWait:
+    """Sentinel a process yields to suspend without subscribing anywhere.
+
+    The normal wait path allocates an :class:`Event` (or an ``AnyOf`` over
+    several) and appends a callback per wait — measurable churn on edges
+    that fire once per simulated packet.  Yielding :data:`PASSIVE_WAIT`
+    instead parks the process with **zero** allocations; it resumes only
+    when some external party calls :meth:`repro.sim.process.Process.wake`
+    (e.g. a completion queue's notify callback).  The waker is responsible
+    for ensuring a wake-up actually arrives — there is no timeout.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PASSIVE_WAIT>"
+
+
+#: The one shared passive-wait sentinel (identity-compared by Process).
+PASSIVE_WAIT = _PassiveWait()
 
 
 class Interrupt(Exception):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import PASSIVE_WAIT, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -75,6 +75,10 @@ class Process(Event):
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
+        if target is PASSIVE_WAIT:
+            # Park with zero allocations; only Process.wake() resumes us.
+            self._target = target
+            return
         if not isinstance(target, Event):
             err = TypeError(
                 f"process {self.name!r} yielded {target!r}; processes may "
@@ -101,6 +105,21 @@ class Process(Event):
         self._ok = ok
         self._value = value
         self.sim.schedule(self, 0.0)
+
+    def wake(self, value: Any = None) -> bool:
+        """Resume a process parked on :data:`~repro.sim.events.PASSIVE_WAIT`.
+
+        Resumption happens through a zero-delay callback at the current
+        instant (same virtual time as the wake).  Returns ``False`` —
+        harmlessly — if the process is not passively waiting: a stale
+        notify that fires while the process is running is simply dropped,
+        because the process re-checks its queues before parking again.
+        """
+        if self._target is not PASSIVE_WAIT:
+            return False
+        self._target = None
+        self.sim.post_later(0.0, self._resume, value, True)
+        return True
 
     # ------------------------------------------------------------- control
 

@@ -1,12 +1,19 @@
-"""Proof of equivalence for the packet-train fast path.
+"""Proof of equivalence for the simulator fast paths.
 
-Every scenario here is executed twice — once with channel coalescing
-enabled (the default fast path) and once forced to per-packet mode — and
-the two runs must agree *exactly*: completion times, per-rank phase
-timestamps, per-channel byte/packet/drop counters, switch forwarding
-counters, the reliability summary, and the received payloads.  Any float
-divergence, however small, is a bug in the fast path (see DESIGN.md
-§"Simulator fast path").
+Two independent fast paths are proven here, each against its own slow
+path:
+
+* the **packet-train** fast path (wire side, PR 2): every scenario is
+  executed with channel coalescing on and off, and the two runs must
+  agree *exactly* — completion times, per-rank phase timestamps,
+  per-channel byte/packet/drop counters, switch forwarding counters, the
+  reliability summary, and the received payloads;
+* the **receiver-batch** fast path (host side, DESIGN.md §6c): the same
+  battery toggles ``recv_batching`` instead, across clean / lossy /
+  reordered / straggler conditions × {broadcast, allgather} × {ud, uc}.
+
+Any float divergence, however small, is a bug in the fast path (see
+DESIGN.md §"Simulator fast path" and §6c).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ import pytest
 
 from repro.core.communicator import CollectiveConfig, Communicator
 from repro.net.fabric import Fabric
-from repro.net.faults import GilbertElliott
+from repro.net.faults import GilbertElliott, StragglerSpec
 from repro.net.link import FaultSpec
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
@@ -30,7 +37,8 @@ NBYTES = 64 * KiB
 
 
 def _make_comm(seed: int, coalescing: bool, fault_factory=None,
-               transport: str = "ud") -> Communicator:
+               transport: str = "ud", recv_batching: bool = True,
+               straggler=None) -> Communicator:
     sim = Simulator()
     fabric = Fabric(
         sim,
@@ -41,8 +49,12 @@ def _make_comm(seed: int, coalescing: bool, fault_factory=None,
     )
     if fault_factory is not None:
         fabric.set_fault_all(fault_factory)
+    if straggler is not None:
+        host, spec = straggler
+        fabric.set_straggler(host, spec)
     return Communicator(
-        fabric, config=CollectiveConfig(chunk_size=4096, transport=transport)
+        fabric, config=CollectiveConfig(chunk_size=4096, transport=transport,
+                                        recv_batching=recv_batching)
     )
 
 
@@ -62,8 +74,10 @@ def _switch_counters(fabric: Fabric) -> Dict[str, Tuple[int, int]]:
 
 
 def _run(kind: str, seed: int, coalescing: bool, fault_factory=None,
-         transport: str = "ud"):
-    comm = _make_comm(seed, coalescing, fault_factory, transport)
+         transport: str = "ud", recv_batching: bool = True,
+         straggler=None):
+    comm = _make_comm(seed, coalescing, fault_factory, transport,
+                      recv_batching, straggler)
     rng = np.random.default_rng(seed)
     if kind == "broadcast":
         data = rng.integers(0, 256, NBYTES, dtype=np.uint8)
@@ -159,6 +173,101 @@ def test_past_fault_windows_allow_coalescing() -> None:
     # must agree regardless of the mid-run switchover.
     _assert_equivalent("broadcast", 0, fault_factory=stale,
                        expect_trains=True)
+
+
+# ---------------------------------------------------------------------------
+# Receiver-batch fast path (DESIGN.md §6c): batched vs per-CQE datapath.
+# Coalescing stays ON for both runs — the NIC only delivers CQE trains for
+# wire-coalesced trains, so this axis is orthogonal to the one above.
+# ---------------------------------------------------------------------------
+
+
+def _assert_batching_equivalent(kind: str, seed: int, fault_factory=None,
+                                transport: str = "ud", straggler=None,
+                                expect_batches: bool = True) -> None:
+    comm_b, res_b = _run(kind, seed, True, fault_factory, transport,
+                         recv_batching=True, straggler=straggler)
+    comm_s, res_s = _run(kind, seed, True, fault_factory, transport,
+                         recv_batching=False, straggler=straggler)
+
+    assert res_b.t_begin == res_s.t_begin
+    assert res_b.t_end == res_s.t_end
+    assert res_b.duration == res_s.duration
+    for rb, rs in zip(res_b.ranks, res_s.ranks):
+        assert rb.phases == rs.phases, f"rank {rb.rank} phase timestamps differ"
+
+    assert _channel_counters(comm_b.fabric) == _channel_counters(comm_s.fabric)
+    assert _switch_counters(comm_b.fabric) == _switch_counters(comm_s.fabric)
+    assert res_b.traffic == res_s.traffic
+    assert res_b.reliability_summary() == res_s.reliability_summary()
+    assert comm_b.fabric.total_rnr_drops() == comm_s.fabric.total_rnr_drops()
+
+    for bf, bs in zip(res_b.buffers, res_s.buffers):
+        assert np.array_equal(bf, bs)
+
+    if expect_batches:
+        assert res_b.engine["cqe_batches"] > 0, "batch fast path never engaged"
+        assert res_b.engine["batched_cqes"] >= 2 * res_b.engine["cqe_batches"]
+    assert res_s.engine["cqe_batches"] == 0
+    assert res_s.engine["batched_cqes"] == 0
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_recv_batching_clean_equivalence(kind: str, seed: int) -> None:
+    _assert_batching_equivalent(kind, seed)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_recv_batching_lossy_equivalence(kind: str, seed: int) -> None:
+    # Live faults keep channels per-packet, so no CQE trains ever form;
+    # the assertion proves the batched configuration degrades to exactly
+    # the per-CQE datapath when the wire gives it nothing to batch.
+    _assert_batching_equivalent(kind, seed, fault_factory=_lossy,
+                                expect_batches=False)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_recv_batching_reordered_equivalence(kind: str, seed: int) -> None:
+    _assert_batching_equivalent(kind, seed, fault_factory=_reordered,
+                                expect_batches=False)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_recv_batching_straggler_equivalence(kind: str, seed: int) -> None:
+    # Host 3 pays +300 ns per CQE poll inside the window; the worker gate
+    # (fabric.straggler_inert) must force its batches back to per-CQE
+    # while other hosts keep batching, with bit-identical results.
+    spec = StragglerSpec(windows=[(0.0, 1e-3)], extra_poll_delay=300e-9)
+    _assert_batching_equivalent(kind, seed, straggler=(3, spec))
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_recv_batching_uc_equivalence(kind: str, seed: int) -> None:
+    _assert_batching_equivalent(kind, seed, transport="uc")
+
+
+def test_recv_batching_straggler_window_suppresses_batches() -> None:
+    """With every host straggling over the whole run, the eligibility gate
+    must keep the batch counter at zero — and results still match."""
+    spec = StragglerSpec(windows=[(0.0, 1.0)], extra_poll_delay=250e-9)
+
+    def run(batching: bool):
+        comm = _make_comm(0, True, recv_batching=batching)
+        for h in range(P):
+            comm.fabric.set_straggler(h, spec)
+        data = np.arange(NBYTES, dtype=np.uint8) % 251
+        res = comm.broadcast(0, data)
+        assert res.verify_broadcast(data)
+        return res
+
+    res_b, res_s = run(True), run(False)
+    assert res_b.engine["cqe_batches"] == 0
+    assert res_b.duration == res_s.duration
 
 
 def test_coalescing_toggle_mid_simulation() -> None:

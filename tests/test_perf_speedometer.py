@@ -50,6 +50,12 @@ def test_event_counts_match_baseline():
         assert cur["virtual_s"] == base["virtual_s"], (
             f"{name}: virtual completion time drifted from the baseline"
         )
+        # The per-CQE slow path must reach the same virtual time (the
+        # receiver-batch fast path is bit-equivalent by construction).
+        slow = speedo.SCENARIOS[name](coalescing=True, batching=False)
+        assert slow["virtual_s"] == base["virtual_s"], (
+            f"{name}: per-CQE datapath diverged from the batched baseline"
+        )
 
 
 @pytest.mark.perf

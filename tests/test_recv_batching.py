@@ -1,0 +1,362 @@
+"""Receiver-batch fast path: unit tests and satellite regressions.
+
+The end-to-end bit-equivalence battery lives in
+``test_fastpath_equivalence.py``; this file covers the building blocks
+(``wake_at``, passive parking, ``copy_runs``, bitmap ranges, bulk staging
+and WR posting), the WR-exhaustion fallback, multicast fan-out ``ctx``
+isolation, and the observability contracts (zero perturbation, telemetry
+reconciliation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import Bitmap
+from repro.core.communicator import CollectiveConfig, Communicator
+from repro.core.staging import StagingRing
+from repro.net.dma import DmaEngine
+from repro.net.fabric import Fabric
+from repro.net.faults import StragglerSpec
+from repro.net.nic import RecvWR, Transport
+from repro.net.packet import Packet, PacketKind, PacketTrain
+from repro.net.topology import Topology
+from repro.obs import TraceConfig
+from repro.sim.engine import Simulator
+from repro.sim.events import PASSIVE_WAIT
+from repro.sim.process import Process
+from repro.sim.random import RandomStreams
+from repro.units import KiB, gbit_per_s
+
+# ------------------------------------------------------------- sim primitives
+
+
+def test_wake_at_resumes_at_exact_instant():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.wake_at(3.5e-6)
+        seen.append(sim.now)
+
+    Process(sim, proc())
+    sim.run()
+    assert seen == [3.5e-6]
+
+
+def test_wake_at_orders_fifo_with_same_instant_callbacks():
+    """Same-instant dispatch follows post order (heap seq tie-break): the
+    callback was queued before the process ran and called wake_at, so it
+    fires first — the ordering contract the batch replay relies on."""
+    sim = Simulator()
+    order = []
+
+    def proc():
+        yield sim.wake_at(1e-6)
+        order.append("proc")
+
+    Process(sim, proc())
+    sim.post_at(1e-6, lambda: order.append("cb"))
+    sim.run()
+    assert order == ["cb", "proc"]
+
+
+def test_passive_wait_park_and_wake():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        got = yield PASSIVE_WAIT
+        log.append((sim.now, got))
+
+    p = Process(sim, proc())
+    sim.post_at(2e-6, lambda: log.append(("woke", p.wake("payload"))))
+    sim.run()
+    # wake() resumes through a zero-delay callback at the wake instant.
+    assert log == [("woke", True), (2e-6, "payload")]
+
+
+def test_wake_on_running_process_is_dropped():
+    sim = Simulator()
+
+    def proc():
+        yield sim.wake_at(1e-6)
+
+    p = Process(sim, proc())
+    assert p.wake() is False  # not parked on PASSIVE_WAIT
+    sim.run()
+
+
+# --------------------------------------------------------------- dma batches
+
+
+def _issue_schedule():
+    # Issue instants with gaps and back-to-back stretches, sizes varied so
+    # the busy-chain arithmetic is exercised in both regimes.
+    return [(4096, 0.0), (4096, 0.0), (1024, 1e-6), (2048, 1.0e-6),
+            (4096, 5e-6), (512, 5.2e-6)]
+
+
+def test_copy_runs_matches_sequential_copy_bit_for_bit():
+    sched = _issue_schedule()
+
+    # Reference: one copy() per op, issued at its exact instant.
+    sim_a = Simulator()
+    eng_a = DmaEngine(sim_a)
+    total = sum(n for n, _ in sched)
+    src_a = np.arange(total, dtype=np.uint64).astype(np.uint8)
+    dst_a = np.zeros(total, dtype=np.uint8)
+    done_a = []
+    off = 0
+    for nbytes, when in sched:
+        s, e = off, off + nbytes
+
+        def issue(s=s, e=e):
+            ev = eng_a.copy(src_a[s:e], dst_a[s:e])
+            ev.subscribe(lambda _e: done_a.append(sim_a.now))
+
+        sim_a.post_at(when, issue)
+        off += nbytes
+    sim_a.run()
+
+    # Batched: same schedule through copy_runs as one span segment.
+    sim_b = Simulator()
+    eng_b = DmaEngine(sim_b)
+    src_b = src_a.copy()
+    dst_b = np.zeros(total, dtype=np.uint8)
+    done_b = []
+
+    def record(_):
+        done_b.append(sim_b.now)
+
+    ops = [(nbytes, when, record, (None,)) for nbytes, when in sched]
+    last = eng_b.copy_runs([(src_b, dst_b, ops)])
+    sim_b.run()
+
+    assert done_b == done_a  # exact float equality, op for op
+    assert last == done_a[-1]
+    assert eng_b.busy_until == eng_a.busy_until
+    assert eng_b.bytes_copied == eng_a.bytes_copied == total
+    assert eng_b.ops == eng_a.ops == len(sched)
+    assert np.array_equal(dst_b, src_b)
+
+
+def test_copy_runs_places_span_at_first_completion():
+    sim = Simulator()
+    eng = DmaEngine(sim)
+    src = np.full(8192, 7, dtype=np.uint8)
+    dst = np.zeros(8192, dtype=np.uint8)
+    snapshots = []
+
+    def peek(_):
+        snapshots.append(dst.copy())
+
+    ops = [(4096, 0.0, peek, (None,)), (4096, 0.0, peek, (None,))]
+    eng.copy_runs([(src, dst, ops)])
+    sim.run()
+    # Whole span already landed when the FIRST op's callback ran.
+    assert np.array_equal(snapshots[0], src)
+    assert len(snapshots) == 2
+
+
+def test_copy_runs_rejects_size_mismatch():
+    sim = Simulator()
+    eng = DmaEngine(sim)
+    with pytest.raises(ValueError):
+        eng.copy_runs([(np.zeros(8, np.uint8), np.zeros(4, np.uint8), [])])
+
+
+# ------------------------------------------------------------------- bitmap
+
+
+def test_bitmap_set_range_counts_new_bits():
+    bm = Bitmap(64)
+    assert bm.set_range(8, 8) == 8
+    assert bm.set_range(8, 8) == 0  # idempotent
+    bm.set(20)
+    assert bm.set_range(16, 8) == 7  # one already set
+    assert bm.count == 16
+
+
+def test_bitmap_any_set_in_range():
+    bm = Bitmap(128)
+    assert not bm.any_set_in_range(0, 128)
+    bm.set(77)
+    assert bm.any_set_in_range(77, 1)
+    assert bm.any_set_in_range(64, 32)
+    assert not bm.any_set_in_range(0, 77)
+    assert not bm.any_set_in_range(78, 50)
+
+
+# ------------------------------------------------- staging ring / bulk posts
+
+
+def _ud_qp():
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.star(2), link_bandwidth=gbit_per_s(100))
+    nic = fabric.nic(0)
+    return sim, nic, nic.create_qp(Transport.UD)
+
+
+def test_on_cqe_batch_bulk_hold():
+    _, nic, qp = _ud_qp()
+    ring = StagingRing(nic, n_slots=8, slot_size=64)
+    assert ring.prime(qp) == 8
+    views = ring.on_cqe_batch([0, 3, 4])
+    assert len(views) == 3 and all(v.nbytes == 64 for v in views)
+    assert ring.held == 3 and ring.posted == 5
+    with pytest.raises(RuntimeError):
+        ring.on_cqe_batch([3])  # already held
+    ring.repost(3, qp)
+    assert ring.held == 2 and ring.posted == 6
+
+
+def test_post_recv_batch_capacity_and_validation():
+    _, nic, qp = _ud_qp()
+    mr = nic.memory.register(1024)
+    wrs = [RecvWR(wr_id=i, mr_key=mr.key, offset=i * 64, length=64)
+           for i in range(4)]
+    qp.post_recv_batch(wrs)
+    assert len(qp.recv_queue) == 4
+    qp.post_recv_batch([])
+    assert len(qp.recv_queue) == 4
+    bad = [RecvWR(wr_id=9, mr_key=mr.key, offset=1000, length=64)]
+    with pytest.raises(IndexError):
+        qp.post_recv_batch(bad)  # beyond the MR
+    huge = [RecvWR(wr_id=100 + i, mr_key=mr.key, offset=0, length=64)
+            for i in range(qp.max_recv_wr)]
+    with pytest.raises(RuntimeError):
+        qp.post_recv_batch(huge)  # exceeds queue capacity in one call
+
+
+def test_post_recv_cached_skips_validation_but_honors_capacity():
+    _, nic, qp = _ud_qp()
+    mr = nic.memory.register(256)
+    wr = RecvWR(wr_id=0, mr_key=mr.key, offset=0, length=64)
+    qp.post_recv(wr)
+    qp.recv_queue.popleft()
+    qp.post_recv_cached(wr)  # cached repost of an already-validated WR
+    assert len(qp.recv_queue) == 1
+    qp.recv_queue.extend([wr] * (qp.max_recv_wr - 1))
+    with pytest.raises(RuntimeError):
+        qp.post_recv_cached(wr)
+
+
+# ------------------------------------------- satellite 1: fan-out ctx clones
+
+
+def test_packet_clone_for_fanout_copies_ctx():
+    payload = np.zeros(16, dtype=np.uint8)
+    pkt = Packet(src=0, dst=1, kind=PacketKind.UC_WRITE, payload=payload,
+                 ctx={"remote_key": 5, "remote_offset": 128})
+    clone = pkt.clone_for_fanout()
+    assert clone.ctx == pkt.ctx
+    clone.ctx["remote_offset"] = 999
+    clone.ctx["extra"] = True
+    # One receiver's NIC mutating its delivery state must not leak into
+    # the sibling clone (regression: fan-out used to share one dict).
+    assert pkt.ctx == {"remote_key": 5, "remote_offset": 128}
+    assert clone.payload is pkt.payload  # data replication stays zero-copy
+
+
+def test_train_clone_for_fanout_isolates_every_packet_ctx():
+    pkts = [Packet(src=0, dst=1, kind=PacketKind.UC_WRITE,
+                   payload=np.zeros(8, dtype=np.uint8),
+                   ctx={"remote_offset": i}) for i in range(4)]
+    train = PacketTrain(pkts, arrivals=[1e-6 * i for i in range(4)])
+    clone = train.clone_for_fanout()
+    assert clone.arrivals is train.arrivals  # read-only, shared
+    for i, (orig, cp) in enumerate(zip(train.packets, clone.packets)):
+        cp.ctx["remote_offset"] = -1
+        assert orig.ctx["remote_offset"] == i
+
+
+# ---------------------------------------- satellite 3: WR exhaustion fallback
+
+
+def _exhaustion_run(batching: bool):
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.leaf_spine(16, 2, 2),
+                    link_bandwidth=gbit_per_s(56),
+                    streams=RandomStreams(0), coalescing=True)
+    # Host 5 stalls 3 µs per CQE poll mid-run: its staging ring drains,
+    # trains stop fitting in the posted WR count, and the NIC train-
+    # delivery gate must fall back to per-packet replay (RNR drops + the
+    # reliability slow path) exactly as the per-CQE datapath does.
+    fabric.set_straggler(5, StragglerSpec(windows=[(20e-6, 60e-6)],
+                                          extra_poll_delay=3e-6))
+    comm = Communicator(fabric, config=CollectiveConfig(
+        chunk_size=4096, staging_slots=16, recv_batching=batching))
+    data = np.arange(256 * KiB, dtype=np.uint32).astype(np.uint8)
+    res = comm.broadcast(0, data)
+    assert res.verify_broadcast(data)
+    return fabric, res
+
+
+def test_wr_exhaustion_mid_train_falls_back_per_cqe():
+    fab_b, res_b = _exhaustion_run(batching=True)
+    fab_s, res_s = _exhaustion_run(batching=False)
+
+    # The scenario genuinely exhausts receive WRs…
+    assert fab_b.total_rnr_drops() > 0
+    # …and still engages batching outside the straggler window.
+    assert res_b.engine["cqe_batches"] > 0
+
+    # Identical datapath semantics: same drops, same recovery work, same
+    # virtual timeline.
+    assert fab_b.total_rnr_drops() == fab_s.total_rnr_drops()
+    assert res_b.reliability_summary() == res_s.reliability_summary()
+    assert res_b.duration == res_s.duration
+    assert res_b.t_end == res_s.t_end
+
+
+# ------------------------------- satellite 4: observability contracts
+
+
+def _traced_run(traced: bool, batching: bool = True):
+    sim = Simulator()
+    fabric = Fabric(sim, Topology.leaf_spine(16, 2, 2),
+                    link_bandwidth=gbit_per_s(56),
+                    streams=RandomStreams(1), coalescing=True)
+    comm = Communicator(
+        fabric,
+        config=CollectiveConfig(chunk_size=4096, recv_batching=batching),
+        trace=TraceConfig() if traced else None,
+    )
+    data = np.arange(64 * KiB, dtype=np.uint8) % 251
+    res = comm.broadcast(0, data)
+    assert res.verify_broadcast(data)
+    return res
+
+
+def test_tracing_zero_perturbation_under_batch_fast_path():
+    res_on = _traced_run(traced=True)
+    res_off = _traced_run(traced=False)
+    assert res_on.duration == res_off.duration
+    assert res_on.engine["sim_events"] == res_off.engine["sim_events"]
+    assert res_on.engine["cqe_batches"] == res_off.engine["cqe_batches"] > 0
+    assert res_off.trace is None
+
+
+def test_batch_tracepoints_emitted_and_reconciled():
+    res = _traced_run(traced=True)
+    batches = res.trace.count("cq.batch")
+    runs = res.trace.count("dma.copy_runs")
+    assert batches == res.engine["cqe_batches"] > 0
+    assert runs > 0
+    batched = sum(r.args["cqes"] for r in res.trace.select(name="cq.batch"))
+    assert batched == res.engine["batched_cqes"]
+    copies = sum(r.args["copies"] for r in res.trace.select(name="dma.copy_runs"))
+    assert copies > 0
+    # Run-coalescing never splits: segments per batch <= copies per batch.
+    for r in res.trace.select(name="dma.copy_runs"):
+        assert 1 <= r.args["segments"] <= r.args["copies"]
+
+
+def test_telemetry_counters_off_when_batching_disabled():
+    res = _traced_run(traced=True, batching=False)
+    assert res.engine["cqe_batches"] == 0
+    assert res.engine["batched_cqes"] == 0
+    assert res.trace.count("cq.batch") == 0
+    assert res.trace.count("dma.copy_runs") == 0

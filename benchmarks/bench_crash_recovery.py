@@ -1,0 +1,151 @@
+"""Fail-stop recovery sweep — time-to-degraded-completion under crashes.
+
+Two tables:
+
+1. **Recovery latency vs crash injection time** — the paper's 188-host
+   testbed running Broadcast under `failure_policy="degrade"`, with one
+   non-root host fail-stopping at increasing fractions of the healthy
+   completion time.  Early crashes are detected during the sync/activation
+   phases and repaired before much data moved; late crashes strike after
+   the data phase and cost almost nothing.  The interesting ridge is the
+   middle: a mid-data crash pays detection (suspicion + probes) plus the
+   degraded fetch among survivors.
+
+2. **Survivor-count sweep** — 16-host leaf-spine Allgather with k hosts
+   dying mid-collective: completion time and the surviving validity
+   fraction as membership shrinks.
+
+Shape criteria: every crashed cell terminates with a degraded result whose
+dead-rank set names exactly the crashed hosts and whose validity holes
+align with the dead ranks' shards; the healthy baseline never degrades.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, report
+from repro.core.communicator import CollectiveConfig, Communicator
+from repro.net import CrashSpec, Fabric, Topology
+from repro.sim import RandomStreams, Simulator
+from repro.units import KiB, gbit_per_s
+
+BCAST_BYTES = 256 * KiB
+AG_SHARD = 32 * KiB
+
+#: crash instants as fractions of the healthy 188-host completion time
+CRASH_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: survivor sweep: how many hosts die mid-allgather (root rank 0 survives)
+KILL_COUNTS = (1, 2, 4)
+
+
+def make_comm(topo, degrade=True, seed=0):
+    cfg = CollectiveConfig(failure_policy="degrade") if degrade else None
+    fabric = Fabric(
+        Simulator(),
+        topo,
+        link_bandwidth=gbit_per_s(56),
+        streams=RandomStreams(seed=seed),
+    )
+    return Communicator(fabric, config=cfg)
+
+
+def bcast_payload(seed=5):
+    return np.random.default_rng(seed).integers(0, 256, BCAST_BYTES, dtype=np.uint8)
+
+
+def run_188_cell(crash_at):
+    comm = make_comm(Topology.testbed_188(), seed=9)
+    if crash_at is not None:
+        comm.fabric.schedule_crash(CrashSpec(at=crash_at, host=100))
+    data = bcast_payload()
+    result = comm.broadcast(0, data)
+    assert result.verify_broadcast(data)
+    return result
+
+
+def crash_time_rows():
+    healthy = run_188_cell(None)
+    assert not healthy.degraded
+    t_healthy = healthy.duration
+    rows = [
+        ("none", "-", f"{t_healthy * 1e6:.1f}", "-", 0,
+         healthy.reliability_summary()["recoveries"])
+    ]
+    cells = []
+    for frac in CRASH_FRACTIONS:
+        crash_at = frac * t_healthy
+        result = run_188_cell(crash_at)
+        cells.append(result)
+        overhead = result.duration - t_healthy
+        rows.append(
+            (
+                f"{crash_at * 1e6:.1f}",
+                f"{frac:.0%}",
+                f"{result.duration * 1e6:.1f}",
+                f"{overhead * 1e6:+.1f}",
+                len(result.dead_ranks),
+                result.reliability_summary()["recoveries"],
+            )
+        )
+    return rows, t_healthy, cells
+
+
+def survivor_rows():
+    rows = []
+    cells = []
+    for k in KILL_COUNTS:
+        comm = make_comm(Topology.leaf_spine(16, 4, 2), seed=13)
+        # Stagger the deaths so detection overlaps the data phase.
+        for i in range(k):
+            comm.fabric.schedule_crash(
+                CrashSpec(at=(12 + 3 * i) * 1e-6, host=15 - i)
+            )
+        send = [np.full(AG_SHARD, r % 251, dtype=np.uint8) for r in range(16)]
+        result = comm.allgather(send)
+        assert result.verify_allgather_degraded(send)
+        cells.append((k, result))
+        valid = 16 - len(result.dead_ranks)
+        rows.append(
+            (
+                k,
+                16 - k,
+                f"{result.duration * 1e6:.1f}",
+                f"{valid / 16:.0%}",
+                result.reliability_summary()["recoveries"],
+            )
+        )
+    return rows, cells
+
+
+def run_crash_sweep():
+    return crash_time_rows(), survivor_rows()
+
+
+def test_crash_recovery_sweep(benchmark):
+    (t_rows, t_healthy, t_cells), (s_rows, s_cells) = benchmark.pedantic(
+        run_crash_sweep, rounds=1, iterations=1
+    )
+    report(
+        "crash_recovery",
+        "Degraded completion vs crash injection time "
+        f"(188-host testbed broadcast, {BCAST_BYTES // KiB} KiB, host 100 dies, "
+        "failure_policy=degrade)\n"
+        + format_table(
+            ["crash at us", "of healthy", "completion us", "overhead us",
+             "dead", "recoveries"],
+            t_rows,
+        )
+        + "\n\nSurvivor-count sweep (16-host leaf-spine allgather, "
+        f"{AG_SHARD // KiB} KiB shards, staggered mid-collective deaths)\n"
+        + format_table(
+            ["killed", "survivors", "completion us", "valid shards", "recoveries"],
+            s_rows,
+        ),
+    )
+    # Every crashed 188-host cell degrades around exactly host 100.
+    for result in t_cells:
+        assert result.degraded and list(result.dead_ranks) == [100]
+        assert result.duration >= t_healthy  # crashes never speed things up
+    # The survivor sweep loses exactly the killed ranks, nothing else.
+    for k, result in s_cells:
+        assert sorted(result.dead_ranks) == sorted(15 - i for i in range(k))

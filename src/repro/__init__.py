@@ -31,34 +31,44 @@ from repro.core.communicator import (
     CollectiveKind,
     CollectiveResult,
     Communicator,
+    FailurePolicy,
     OpHandle,
     PhaseBreakdown,
     RankStats,
     ReduceScatterHandle,
 )
 from repro.core.costmodel import HostCostModel
-from repro.core.reliability import CutoffEstimator, ReliabilityError
+from repro.core.reliability import (
+    CollectiveAbortedError,
+    CutoffEstimator,
+    PeerDeadError,
+    ReliabilityError,
+)
 from repro.net.fabric import Fabric
-from repro.net.faults import GilbertElliott, StragglerSpec, Window
+from repro.net.faults import CrashSpec, GilbertElliott, StragglerSpec, Window
 from repro.net.link import FaultSpec
 from repro.net.topology import Topology, TopologySpec
 from repro.obs import TraceConfig, Tracer, TraceView
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, WatchdogError
 from repro.sim.random import RandomStreams
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CollectiveAbortedError",
     "CollectiveConfig",
     "CollectiveKind",
     "CollectiveResult",
     "Communicator",
+    "CrashSpec",
     "CutoffEstimator",
     "Fabric",
+    "FailurePolicy",
     "FaultSpec",
     "GilbertElliott",
     "HostCostModel",
     "OpHandle",
+    "PeerDeadError",
     "PhaseBreakdown",
     "RandomStreams",
     "RankStats",
@@ -71,6 +81,7 @@ __all__ = [
     "TraceConfig",
     "Tracer",
     "TraceView",
+    "WatchdogError",
     "Window",
     "__version__",
 ]

@@ -250,21 +250,79 @@ def _tune(args: list) -> int:
     return 0
 
 
+#: exit code for a typed collective failure (reliability / fail-stop /
+#: watchdog) — distinct from usage errors (2) and tune cache misses (3)
+EXIT_COLLECTIVE_FAILURE = 4
+
+
+def _failure_screen(err) -> str:
+    """One-screen summary of a typed collective failure.
+
+    Every field the post-mortem needs — rank, phase, retry histogram,
+    dead ranks — without the stack trace (``--trace``-style debugging
+    belongs in the exported Chrome trace, not on stderr).
+    """
+    lines = ["=" * 64, f"collective failure: {type(err).__name__}",
+             "=" * 64, f"  detail   : {RuntimeError.__str__(err)}"]
+    if getattr(err, "rank", None) is not None:
+        lines.append(f"  rank     : {err.rank}")
+    if getattr(err, "kind", None):
+        lines.append(f"  op       : {err.kind} (coll_id={err.coll_id})")
+    elif getattr(err, "coll_id", None) is not None:
+        lines.append(f"  coll_id  : {err.coll_id}")
+    if getattr(err, "phase", None):
+        lines.append(f"  phase    : {err.phase}")
+    dead = getattr(err, "dead_ranks", None) or getattr(err, "dead", None)
+    if dead:
+        lines.append(f"  dead     : ranks {sorted(dead)}")
+    if getattr(err, "n_chunks", 0):
+        lines.append(f"  missing  : {err.missing_chunks}/{err.n_chunks} chunks")
+    if getattr(err, "elapsed", None) is not None:
+        lines.append(f"  elapsed  : {err.elapsed * 1e6:.1f} µs "
+                     f"(deadline {err.deadline * 1e6:.1f} µs)")
+    hist = getattr(err, "retry_histogram", None)
+    if hist is not None:
+        lines.append(f"  retries  : {hist or '[]'} "
+                     f"({len(hist)} recoveries, {sum(hist)} fetch rounds)")
+    counters = getattr(err, "counters", None)
+    if counters:
+        body = " ".join(f"{k}={v}" for k, v in sorted(counters.items()) if v)
+        lines.append(f"  counters : {body or '(all zero)'}")
+    report = getattr(err, "report", None)
+    if report:
+        lines.append("  diagnostics:")
+        lines.extend("    " + ln for ln in report.splitlines())
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
+    from repro.core.reliability import (
+        CollectiveAbortedError,
+        PeerDeadError,
+        ReliabilityError,
+    )
+    from repro.sim.engine import WatchdogError
+
     argv = list(sys.argv[1:] if argv is None else argv)
     cmd = argv[0] if argv else "demo"
-    if cmd == "demo":
-        return _demo()
-    if cmd == "experiments":
-        return _experiments()
-    if cmd == "speedup":
-        return _speedup(argv[1:])
-    if cmd == "table1":
-        return _table1()
-    if cmd == "trace":
-        return _trace(argv[1:])
-    if cmd == "tune":
-        return _tune(argv[1:])
+    try:
+        if cmd == "demo":
+            return _demo()
+        if cmd == "experiments":
+            return _experiments()
+        if cmd == "speedup":
+            return _speedup(argv[1:])
+        if cmd == "table1":
+            return _table1()
+        if cmd == "trace":
+            return _trace(argv[1:])
+        if cmd == "tune":
+            return _tune(argv[1:])
+    except (ReliabilityError, CollectiveAbortedError, PeerDeadError,
+            WatchdogError) as err:
+        print(_failure_screen(err), file=sys.stderr)
+        return EXIT_COLLECTIVE_FAILURE
     print(__doc__)
     return 0 if cmd in ("-h", "--help", "help") else 2
 

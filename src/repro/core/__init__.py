@@ -26,6 +26,7 @@ from repro.core.communicator import (
     CollectiveConfig,
     CollectiveResult,
     Communicator,
+    FailurePolicy,
     PhaseBreakdown,
     RankStats,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "CollectiveConfig",
     "CollectiveResult",
     "Communicator",
+    "FailurePolicy",
     "HostCostModel",
     "ImmLayout",
     "PhaseBreakdown",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.core.sequencer import BroadcastSequencer
 from repro.core.subgroups import SubgroupPlan
 from repro.net.fabric import Fabric
 from repro.net.nic import QueuePair, Transport
+from repro.net.topology import host_name
 from repro.obs import trace as obs_trace
 from repro.obs.trace import TraceConfig, Tracer, TraceView
 from repro.sim.events import AllOf
@@ -42,6 +43,7 @@ from repro.sim.events import AllOf
 __all__ = [
     "CollectiveConfig",
     "CollectiveKind",
+    "FailurePolicy",
     "Communicator",
     "OpHandle",
     "ReduceScatterHandle",
@@ -65,6 +67,27 @@ class CollectiveKind(str, enum.Enum):
     REDUCE_SCATTER = "reduce_scatter"
 
     def __str__(self) -> str:  # "broadcast", not "CollectiveKind.BROADCAST"
+        return self.value
+
+
+class FailurePolicy(str, enum.Enum):
+    """What a collective does when a participant fail-stops mid-flight.
+
+    ``ABORT`` raises a typed
+    :class:`~repro.core.reliability.CollectiveAbortedError` on every
+    survivor; ``DEGRADE`` completes the collective among the survivors
+    (allgather results carry per-rank validity masks with the dead rank's
+    shards marked missing; a broadcast whose root survives completes in
+    full).  The config default of ``None`` disables the liveness layer
+    entirely — a crash then surfaces as a recovery-deadline
+    :class:`~repro.core.reliability.ReliabilityError` or a watchdog dump,
+    exactly as before this layer existed.
+    """
+
+    ABORT = "abort"
+    DEGRADE = "degrade"
+
+    def __str__(self) -> str:
         return self.value
 
 
@@ -123,6 +146,19 @@ class CollectiveConfig:
     #: total virtual time an op may spend in recovery before raising a
     #: :class:`~repro.core.reliability.ReliabilityError` instead of hanging
     recovery_deadline: float = 0.25
+    #: fail-stop handling: ``None`` (liveness layer off, the default),
+    #: :attr:`FailurePolicy.ABORT` or :attr:`FailurePolicy.DEGRADE`
+    #: (accepts the strings "abort"/"degrade")
+    failure_policy: Optional["FailurePolicy"] = None
+    #: one PING round-trip allowance before a probe retry (scaled up by
+    #: the fabric diameter at probe time)
+    liveness_probe_timeout: float = 500e-6
+    #: unanswered PINGs before a peer is confirmed dead
+    liveness_probe_retries: int = 3
+    #: floor on the no-progress suspicion timer; the effective timer is
+    #: ``max(this, 4 × CutoffEstimator.slack())`` so a congested fabric
+    #: that legitimately slows delivery also slows suspicion
+    suspicion_timeout: float = 2e-3
     #: software datapath cost model
     cost: HostCostModel = field(default_factory=HostCostModel)
 
@@ -166,6 +202,15 @@ class CollectiveConfig:
             raise ValueError("fetch_stall_rounds must be >= 1")
         if self.recovery_deadline <= 0:
             raise ValueError("recovery_deadline must be > 0")
+        if self.failure_policy is not None:
+            # Accept the plain strings; normalize so engines compare enums.
+            self.failure_policy = FailurePolicy(self.failure_policy)
+        if self.liveness_probe_timeout <= 0:
+            raise ValueError("liveness_probe_timeout must be > 0")
+        if self.liveness_probe_retries < 1:
+            raise ValueError("liveness_probe_retries must be >= 1")
+        if self.suspicion_timeout <= 0:
+            raise ValueError("suspicion_timeout must be > 0")
 
 
 @dataclass
@@ -214,10 +259,21 @@ class CollectiveResult:
     #: trace snapshot clipped to this collective's window, when the
     #: communicator was built with ``trace=TraceConfig(...)``
     trace: Optional[TraceView] = None
+    #: ranks that fail-stopped during (or before) this collective; their
+    #: ``buffers`` entries are meaningless and absent from ``ranks``
+    dead_ranks: List[int] = field(default_factory=list)
+    #: per-rank chunk-validity masks for degraded completions:
+    #: ``validity[r]`` is a bool array over chunks (True = real payload) or
+    #: ``None`` when every chunk landed; dead ranks also get ``None``
+    validity: Optional[List[Optional[np.ndarray]]] = None
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_begin
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dead_ranks)
 
     @property
     def recv_bytes_per_rank(self) -> int:
@@ -279,11 +335,45 @@ class CollectiveResult:
     def verify_allgather(self, send_data: Sequence[np.ndarray]) -> bool:
         expected = np.concatenate([np.ascontiguousarray(d).view(np.uint8).ravel()
                                    for d in send_data])
-        return all(np.array_equal(buf, expected) for buf in self.buffers)
+        dead = set(self.dead_ranks)
+        return all(np.array_equal(buf, expected)
+                   for r, buf in enumerate(self.buffers) if r not in dead)
 
     def verify_broadcast(self, data: np.ndarray) -> bool:
         expected = np.ascontiguousarray(data).view(np.uint8).ravel()
-        return all(np.array_equal(buf, expected) for buf in self.buffers)
+        dead = set(self.dead_ranks)
+        return all(np.array_equal(buf, expected)
+                   for r, buf in enumerate(self.buffers) if r not in dead)
+
+    def verify_allgather_degraded(self, send_data: Sequence[np.ndarray]) -> bool:
+        """Degraded-mode allgather check: on every *surviving* rank, every
+        chunk marked valid must hold the contributor's bytes, and every
+        chunk marked missing must belong to a dead rank's shard."""
+        expected = np.concatenate([np.ascontiguousarray(d).view(np.uint8).ravel()
+                                   for d in send_data])
+        dead = set(self.dead_ranks)
+        for r, buf in enumerate(self.buffers):
+            if r in dead:
+                continue
+            mask = self.validity[r] if self.validity is not None else None
+            if mask is None:
+                if not np.array_equal(buf, expected):
+                    return False
+                continue
+            n_chunks = len(mask)
+            # Shards are chunk-aligned by construction, so the owner of
+            # chunk i is i // (chunks per rank).
+            chunks_per_rank = n_chunks // self.comm_size
+            chunk = (len(expected) + n_chunks - 1) // n_chunks
+            for i in range(n_chunks):
+                lo = i * chunk
+                hi = min(lo + chunk, len(expected))
+                if mask[i]:
+                    if not np.array_equal(buf[lo:hi], expected[lo:hi]):
+                        return False
+                elif i // chunks_per_rank not in dead:
+                    return False  # hole outside any dead rank's shard
+        return True
 
     def verify_reduce_scatter(self, send_data: Sequence[np.ndarray],
                               rtol: float = 1e-3, atol: float = 1e-3) -> bool:
@@ -330,8 +420,13 @@ class OpHandle:
                engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
         if not self.complete:
             raise RuntimeError("collective has not completed")
+        # Dead ranks' ops are abandoned, not completed — their phase records
+        # stop at the crash instant and are excluded from the statistics.
+        live_ops = [op for op in self.ops if not op.aborted]
+        if not live_ops:
+            raise RuntimeError("collective has no surviving ranks")
         ranks = []
-        for op in self.ops:
+        for op in live_ops:
             ph = op.phases
             breakdown = PhaseBreakdown(
                 sync=ph["sync"] - ph["start"],
@@ -346,8 +441,20 @@ class OpHandle:
                     timer_trace=list(op.timer_trace),
                 )
             )
-        t_begin = min(op.phases["start"] for op in self.ops)
-        t_end = max(op.phases["final"] for op in self.ops)
+        t_begin = min(op.phases["start"] for op in live_ops)
+        t_end = max(op.phases["final"] for op in live_ops)
+        dead = sorted(
+            {op.rank for op in self.ops if op.aborted}
+            | {r for op in live_ops for r in op.dead_ranks}
+        )
+        validity = None
+        if any(op.valid_mask is not None for op in live_ops):
+            by_rank = {op.rank: op for op in live_ops}
+            validity = [
+                (by_rank[r].valid_mask.copy()
+                 if r in by_rank and by_rank[r].valid_mask is not None else None)
+                for r in range(self.comm.size)
+            ]
         tracer = self.comm.tracer
         return CollectiveResult(
             kind=self.kind,
@@ -362,6 +469,8 @@ class OpHandle:
             traffic=traffic or {},
             engine=engine or {},
             trace=tracer.view(t_begin, t_end) if tracer is not None else None,
+            dead_ranks=dead,
+            validity=validity,
         )
 
 
@@ -487,6 +596,16 @@ class Communicator:
         self._coll_ids = itertools.count(0)
         #: in-flight handles by coll_id (engine ids >= 0, RS handles < 0)
         self._active: Dict[int, Union[OpHandle, ReduceScatterHandle]] = {}
+        # --- fail-stop state -------------------------------------------
+        #: ranks whose hosts fail-stopped (grows monotonically)
+        self.dead_ranks: Set[int] = set()
+        #: op-controller processes by coll_id, as (rank, process) pairs —
+        #: a crash must tear down the dead host's software immediately
+        self._op_procs: Dict[int, List[tuple]] = {}
+        self._repair_key = None
+        self._repair_track = None
+        fabric.on_crash(self._on_fabric_crash)
+        self.sim.add_watchdog_diagnostic(self._watchdog_diagnostic)
 
     # ------------------------------------------------------------- plumbing
 
@@ -509,6 +628,96 @@ class Communicator:
         self._ctrl_pairs[(a, b)] = qa
         self._ctrl_pairs[(b, a)] = qb
         return qa
+
+    # ------------------------------------------------------------ fail-stop
+
+    @property
+    def survivors(self) -> List[int]:
+        return [r for r in range(self.size) if r not in self.dead_ranks]
+
+    def _on_fabric_crash(self, spec) -> None:
+        """Fabric listener, invoked at the crash instant.
+
+        Only the *dead* host's local software is torn down here (software
+        dies with the host); surviving ranks must learn about the death
+        through the liveness protocol — PING probes and reliable MSG_DEATH
+        notices — never from this oracle.
+        """
+        if spec.host is None:
+            return
+        host = self.fabric._resolve_host(spec.host)
+        try:
+            rank = self.hosts.index(host)
+        except ValueError:
+            return  # crashed host is not a member of this communicator
+        self.dead_ranks.add(rank)
+        engine = self.engines[rank]
+        engine.shutdown()
+        for procs in self._op_procs.values():
+            for r, proc in procs:
+                if r == rank and proc.alive:
+                    proc.kill()
+        for op in list(engine.ops.values()):
+            op.abandon()
+
+    def note_death(self, rank: int) -> None:
+        """Protocol-level death confirmation (called by a survivor's engine
+        after probes went unanswered).  Idempotent."""
+        self.dead_ranks.add(rank)
+        engine = self.engines[rank]
+        for op in list(engine.ops.values()):
+            if not op.aborted:
+                op.abandon()
+
+    def repair_topology(self) -> None:
+        """Re-plan routing and every multicast tree around the current dead
+        set (idempotent per dead-set value; survivors racing into repair
+        after the same confirmation do the work once)."""
+        key = (frozenset(self.fabric.dead_node_names()), frozenset(self.dead_ranks))
+        if key == self._repair_key:
+            return
+        self._repair_key = key
+        self.fabric.reroute_unicast()
+        live_hosts = [self.hosts[r] for r in self.survivors]
+        exclude = self.fabric.dead_node_names()
+        for gid in self.mcast_gids:
+            if len(live_hosts) >= 2:
+                self.fabric.rebuild_mcast_group(gid, live_hosts, exclude)
+        if self.tracer is not None:
+            if self._repair_track is None:
+                self._repair_track = self.tracer.track("comm", "repair")
+            self._repair_track.instant(
+                "repair.replan", self.sim.now,
+                {"dead_ranks": sorted(self.dead_ranks),
+                 "dead_nodes": sorted(exclude)},
+            )
+
+    def _watchdog_diagnostic(self) -> str:
+        """Per-rank state dump for the simulator hang watchdog."""
+        lines = [f"communicator: size={self.size} dead_ranks={sorted(self.dead_ranks)}"]
+        for r, engine in enumerate(self.engines):
+            host = self.hosts[r]
+            status = "DEAD" if r in self.dead_ranks else "live"
+            lines.append(
+                f"rank {r} ({host_name(host)}, {status}): "
+                f"ctrl sent={engine.ctrl.messages_sent} "
+                f"recv={engine.ctrl.messages_received}"
+            )
+            for cid, op in sorted(engine.ops.items()):
+                holes = op.bitmap.missing_runs()
+                hole_str = ", ".join(f"[{lo},{lo + n})" for lo, n in holes[:4])
+                if len(holes) > 4:
+                    hole_str += f", … (+{len(holes) - 4} runs)"
+                last_phase = max(op.phases.items(), key=lambda kv: kv[1])[0] \
+                    if op.phases else "-"
+                last_timer = op.timer_trace[-1] if op.timer_trace else None
+                lines.append(
+                    f"  op c{cid} {op.kind}: {op.bitmap.count}/{op.n_chunks} chunks "
+                    f"({op.placed.count} placed, {op.outstanding_copies} copies in "
+                    f"flight), holes: {hole_str or 'none'}; last phase: {last_phase}; "
+                    f"last timer: {last_timer}"
+                )
+        return "\n".join(lines)
 
     def _next_coll_id(self) -> int:
         for _ in range(self.imm.max_collectives):
@@ -537,8 +746,10 @@ class Communicator:
         if plan.n_chunks > self.imm.max_psns:
             raise ValueError("buffer needs more PSNs than the immediate layout provides")
         sub = SubgroupPlan(plan.n_chunks, self.config.n_subgroups)
-        ops, buffers = [], []
-        participants = list(range(self.size))
+        if root in self.dead_ranks:
+            raise ValueError(f"broadcast root {root} fail-stopped earlier")
+        ops, buffers, procs = [], [], []
+        participants = self.survivors
         for r in range(self.size):
             engine = self.engines[r]
             if r == root:
@@ -551,10 +762,16 @@ class Communicator:
                 comm_size=self.size, mr=mr, plan=plan, subgroups=sub,
                 send_lo=0, send_hi=plan.n_chunks if r == root else 0, root=root,
             )
-            engine.register_op(op)
-            self.sim.spawn(engine.run_op(op, participants), name=f"bcast-c{cid}-r{r}")
+            if r in self.dead_ranks:
+                op.abandon()  # a dead host runs no software
+            else:
+                engine.register_op(op)
+                proc = self.sim.spawn(engine.run_op(op, participants),
+                                      name=f"bcast-c{cid}-r{r}")
+                procs.append((r, proc))
             ops.append(op)
             buffers.append(mr.buf)
+        self._op_procs[cid] = procs
         handle = OpHandle(self, "broadcast", cid, ops, buffers, nbytes)
         self._active[cid] = handle
         return handle
@@ -589,9 +806,17 @@ class Communicator:
             raise ValueError("buffer needs more PSNs than the immediate layout provides")
         chunks_per_rank = max(nbytes // chunk, 1)
         sub = SubgroupPlan(chunks_per_rank, self.config.n_subgroups)
-        seq = BroadcastSequencer(self.size, self.config.n_chains)
-        ops, buffers = [], []
-        participants = list(range(self.size))
+        participants = self.survivors
+        if len(participants) < 1:
+            raise RuntimeError("allgather has no surviving ranks")
+        # The chain schedule runs over the *survivors*; ranks that died
+        # before submission never multicast and their shards are voided
+        # up front on every survivor.
+        n_chains = (self.config.n_chains
+                    if len(participants) % self.config.n_chains == 0 else 1)
+        seq = BroadcastSequencer(len(participants), n_chains)
+        chain_index = {r: i for i, r in enumerate(participants)}
+        ops, buffers, procs = [], [], []
         for r in range(self.size):
             engine = self.engines[r]
             buf = np.zeros(total, dtype=np.uint8)
@@ -604,18 +829,32 @@ class Communicator:
                 comm_size=self.size, mr=mr, plan=plan, subgroups=sub,
                 send_lo=r * chunks_per_rank, send_hi=(r + 1) * chunks_per_rank,
             )
+            if r in self.dead_ranks:
+                op.abandon()
+                ops.append(op)
+                buffers.append(mr.buf)
+                continue
+            for d in sorted(self.dead_ranks):
+                op.mark_void(d * chunks_per_rank, chunks_per_rank)
+                op.dead_ranks.add(d)
+            op.maybe_complete()
+            idx = chain_index[r]
+            pred = seq.predecessor(idx)
+            succ = seq.successor(idx)
             engine.register_op(op)
-            self.sim.spawn(
+            proc = self.sim.spawn(
                 engine.run_op(
                     op,
                     participants,
-                    activation_pred=seq.predecessor(r),
-                    activation_succ=seq.successor(r),
+                    activation_pred=participants[pred] if pred is not None else None,
+                    activation_succ=participants[succ] if succ is not None else None,
                 ),
                 name=f"ag-c{cid}-r{r}",
             )
+            procs.append((r, proc))
             ops.append(op)
             buffers.append(mr.buf)
+        self._op_procs[cid] = procs
         handle = OpHandle(self, "allgather", cid, ops, buffers, nbytes)
         self._active[cid] = handle
         return handle
@@ -683,6 +922,7 @@ class Communicator:
         if handle.coll_id >= 0:  # RS handles own no engine-side state
             for engine in self.engines:
                 engine.release_op(handle.coll_id)
+            self._op_procs.pop(handle.coll_id, None)
         self._active.pop(handle.coll_id, None)
 
     def _snapshot(self) -> Dict[str, int]:

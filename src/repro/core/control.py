@@ -40,6 +40,9 @@ __all__ = [
     "MSG_FETCH_REQ",
     "MSG_FETCH_ACK",
     "MSG_FINAL",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_DEATH",
 ]
 
 MSG_BARRIER = 1
@@ -47,6 +50,13 @@ MSG_ACTIVATE = 2
 MSG_FETCH_REQ = 3
 MSG_FETCH_ACK = 4
 MSG_FINAL = 5
+#: liveness probe — answered by the dispatcher itself (auto-PONG), so a
+#: host is "alive" iff its progress thread still drains its control CQ
+MSG_PING = 6
+MSG_PONG = 7
+#: death notice: ``key`` = the communicator rank confirmed dead.  Consumed
+#: by the engine-installed ``on_death`` callback, never by an inbox.
+MSG_DEATH = 8
 
 #: message types delivered to an any-source inbox (servers listen for
 #: requests regardless of the requester's rank)
@@ -118,7 +128,14 @@ class ControlPlane:
         self._inboxes: Dict[tuple, Store] = {}
         self.messages_sent = 0
         self.messages_received = 0
-        sim.spawn(self._dispatch_loop(), name=f"ctrl-dispatch-r{rank}")
+        #: peer rank → virtual time of the last message heard from it.
+        #: Every control message doubles as a liveness heartbeat, so the
+        #: suspicion logic can often clear a peer without spending a probe.
+        self.last_heard: Dict[int, float] = {}
+        #: ``fn(msg: CtrlMessage)`` invoked for MSG_DEATH notices (installed
+        #: by the progress engine); None drops them
+        self.on_death: Optional[Callable[[CtrlMessage], None]] = None
+        self._dispatch_proc = sim.spawn(self._dispatch_loop(), name=f"ctrl-dispatch-r{rank}")
 
     # -------------------------------------------------------------- plumbing
 
@@ -210,6 +227,17 @@ class ControlPlane:
                            length=_SLOT_BYTES)
                 )
                 self.messages_received += 1
+                self.last_heard[msg.src] = self.sim.now
+                if msg.mtype == MSG_PING:
+                    # Liveness probe: the dispatcher answers directly — the
+                    # PONG proves this rank's progress loop is alive, which
+                    # is exactly the fail-stop property being tested.
+                    self.send(msg.src, MSG_PONG, msg.key)
+                    continue
+                if msg.mtype == MSG_DEATH:
+                    if self.on_death is not None:
+                        self.on_death(msg)
+                    continue
                 self._inbox(msg.mtype, msg.key, msg.src).put(msg)
 
     # --------------------------------------------------------------- barrier

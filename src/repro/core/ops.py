@@ -11,7 +11,9 @@ own shard of the global receive buffer and whose bitmap spans all shards
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.bitmap import Bitmap
 from repro.core.chunking import ChunkPlan
@@ -67,6 +69,14 @@ class OpState:
     #: batch whose replay window straddles this instant, so no recovery
     #: can read or mutate the bitmap mid-replay.
     cutoff_deadline: float = field(init=False, default=float("inf"))
+    #: per-chunk validity (True = real payload landed).  ``None`` until the
+    #: first :meth:`mark_void` — the healthy path never allocates it.
+    valid_mask: Optional[np.ndarray] = field(init=False, default=None)
+    #: ranks this op completed *without* (degraded-mode membership record)
+    dead_ranks: Set[int] = field(init=False)
+    #: set by :meth:`abandon`: the op was torn down (its rank died or the
+    #: collective aborted) and its phase record is not meaningful
+    aborted: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         n = self.plan.n_chunks
@@ -89,6 +99,7 @@ class OpState:
         }
         self.retry_histogram = []
         self.timer_trace = []
+        self.dead_ranks = set()
         # This rank's own chunks are present by construction.
         self.bitmap.set_range(self.send_lo, self.send_hi - self.send_lo)
         self.placed.set_range(self.send_lo, self.send_hi - self.send_lo)
@@ -135,12 +146,47 @@ class OpState:
     def maybe_complete(self) -> None:
         """Trigger ``data_done`` once every chunk is present *and* every
         staging copy has drained."""
+        self.sim.progress += 1
         if (
             not self.data_done.triggered
             and self.bitmap.count == self.n_chunks
             and self.outstanding_copies == 0
         ):
             self.data_done.succeed()
+
+    # ----------------------------------------------------------- fail-stop
+
+    def mark_void(self, start: int, count: int) -> None:
+        """Record chunks ``[start, start+count)`` as permanently missing.
+
+        Used by degraded-mode completion when the chunks' only source fail-
+        stopped: the *tracked* bitmap is filled (so ``data_done`` can fire)
+        but ``placed`` is **not** — peers must never fetch the garbage —
+        and ``valid_mask`` records the hole for the caller.
+        """
+        if count <= 0:
+            return
+        if self.valid_mask is None:
+            self.valid_mask = np.ones(self.n_chunks, dtype=bool)
+        self.valid_mask[start:start + count] = False
+        self.bitmap.set_range(start, count)
+
+    @property
+    def void_chunks(self) -> int:
+        """Chunks marked permanently missing by :meth:`mark_void`."""
+        if self.valid_mask is None:
+            return 0
+        return int(self.n_chunks - int(self.valid_mask.sum()))
+
+    def abandon(self) -> None:
+        """Tear the op down without completing it (its rank died, or the
+        failure policy aborted the collective).  Completion events are
+        force-succeeded so communicator-level drains terminate."""
+        self.aborted = True
+        if not self.data_done.triggered:
+            self.data_done.succeed()
+        if not self.op_done.triggered:
+            self.op_done.succeed()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

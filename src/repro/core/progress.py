@@ -23,19 +23,29 @@ single engine parameterization covers both the "fast CPU, cheap ops" and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.chunking import ImmLayout
 from repro.core.control import (
     MSG_ACTIVATE,
+    MSG_BARRIER,
     MSG_FETCH_ACK,
     MSG_FETCH_REQ,
     MSG_FINAL,
+    MSG_PING,
+    MSG_PONG,
+    MSG_DEATH,
     ControlPlane,
 )
 from repro.core.costmodel import HostCostModel
 from repro.core.ops import OpState
-from repro.core.reliability import CutoffEstimator, ReliabilityError, backoff_delay
+from repro.core.reliability import (
+    CollectiveAbortedError,
+    CutoffEstimator,
+    PeerDeadError,
+    ReliabilityError,
+    backoff_delay,
+)
 from repro.core.staging import StagingRing
 from repro.net.dma import DmaEngine
 from repro.net.nic import RecvWR, SendWR, Transport
@@ -132,7 +142,7 @@ class RankEngine:
                 self._recv_procs[worker_id] = self.sim.spawn(
                     self._recv_worker(worker_id, sgs), name=f"rxw{worker_id}-r{rank}"
                 )
-        self.sim.spawn(self._fetch_server(), name=f"fetchsrv-r{rank}")
+        self._fetch_proc = self.sim.spawn(self._fetch_server(), name=f"fetchsrv-r{rank}")
 
         from repro.sim.primitives import Resource
 
@@ -152,6 +162,31 @@ class RankEngine:
         #: named stream — recovery jitter is reproducible and per-rank
         self._recovery_rng = self.fabric.streams.stream(f"recovery:r{rank}")
         self._fetch_nonce = 0
+
+        # --- liveness layer (only active when config.failure_policy set) ---
+        #: peers this rank knows to be dead (own probes or MSG_DEATH notices)
+        self.confirmed_dead: Set[int] = set()
+        self._probe_nonce = 0
+        self._shutdown = False
+        self.ctrl.on_death = self._on_death_notice
+
+    # ------------------------------------------------------------- teardown
+
+    def shutdown(self) -> None:
+        """Fail-stop this engine: kill every software process.  Called when
+        this rank's *own* host crashes — the NIC flags already black-hole
+        the hardware; this kills the software that would otherwise keep
+        polling dead CQs forever."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for proc in self._recv_procs.values():
+            if proc.alive:
+                proc.kill()
+        if self._fetch_proc.alive:
+            self._fetch_proc.kill()
+        if self.ctrl._dispatch_proc.alive:
+            self.ctrl._dispatch_proc.kill()
 
     # ------------------------------------------------------------- op table
 
@@ -538,7 +573,8 @@ class RankEngine:
 
     # ------------------------------------------------------------- recovery
 
-    def run_recovery(self, op: OpState, participants: List[int], deadline_abs: float):
+    def run_recovery(self, op: OpState, participants: List[int], deadline_abs: float,
+                     monitor: Optional[List[int]] = None):
         """Slow path (§III-C), hardened: selective zero-copy fetch of
         missing chunks from ring neighbors.
 
@@ -561,6 +597,10 @@ class RankEngine:
         * the whole recovery is bounded by *deadline_abs* — on expiry a
           :class:`ReliabilityError` with diagnostic counters is raised
           instead of hanging the simulation.
+
+        When *monitor* is set (liveness layer active), any confirmed death
+        among those ranks raises :class:`PeerDeadError` out of the loop so
+        the controller can re-plan instead of fetching from a corpse.
         """
         op.stats["recoveries"] += 1
         trc = self.trace
@@ -578,6 +618,8 @@ class RankEngine:
         try:
             attempt = 0
             while not op.data_done.triggered:
+                if monitor is not None:
+                    self._check_live(op, monitor, "data")
                 self._check_recovery_deadline(op, deadline_abs)
                 peer = order[attempt % len(order)]
                 if attempt > 0 and len(order) > 1:
@@ -586,7 +628,7 @@ class RankEngine:
                         trc.instant("reliability.escalate", self.sim.now,
                                     {"peer": peer})
                 _progressed, rounds = yield from self._fetch_attempt(
-                    op, peer, deadline_abs
+                    op, peer, deadline_abs, monitor=monitor
                 )
                 rounds_used += rounds
                 attempt += 1
@@ -612,9 +654,11 @@ class RankEngine:
             elapsed=self.sim.now - started,
             deadline=self.config.recovery_deadline,
             counters=op.stats,
+            retry_histogram=op.retry_histogram,
         )
 
-    def _fetch_attempt(self, op: OpState, peer: int, deadline_abs: float):
+    def _fetch_attempt(self, op: OpState, peer: int, deadline_abs: float,
+                       monitor: Optional[List[int]] = None):
         """One bounded fetch session against *peer*.
 
         Returns ``(progressed, rounds)``; the caller escalates to the next
@@ -636,6 +680,17 @@ class RankEngine:
             if self.trace is not None:
                 self.trace.instant("reliability.timeout", self.sim.now,
                                    {"peer": peer})
+            if monitor is not None:
+                # A silent fetch server is exactly what a fail-stopped host
+                # looks like from the data phase — probe before escalating
+                # so a dead peer is detected promptly, not only when some
+                # rank blocks on it in a control-plane wait.
+                if (yield from self._probe(peer)):
+                    raise PeerDeadError(
+                        f"peer {peer} fail-stopped during fetch",
+                        rank=self.rank, coll_id=op.coll_id, phase="data",
+                        dead=self._dead_in(monitor) or {peer},
+                    )
             self._check_recovery_deadline(op, deadline_abs)
             return False, 0
         qp = self.comm.ensure_ctrl_pair(self.rank, peer)
@@ -747,6 +802,162 @@ class RankEngine:
             msg = yield self.ctrl.recv(MSG_FETCH_REQ)
             self.ctrl.send(msg.src, MSG_FETCH_ACK, msg.key)
 
+    # ------------------------------------------------------------- liveness
+
+    def _on_death_notice(self, msg) -> None:
+        """Reliable MSG_DEATH notice from a peer that confirmed a death.
+        RC delivery makes membership agreement trivial: every survivor
+        eventually holds the same (monotonically growing) dead set."""
+        rank = msg.key
+        if rank in self.confirmed_dead:
+            return
+        self.confirmed_dead.add(rank)
+        if self.trace is not None:
+            self.trace.instant("liveness.confirm", self.sim.now,
+                               {"rank": rank, "via": "notice", "src": msg.src})
+        self.comm.note_death(rank)
+
+    def _suspicion_timeout(self) -> float:
+        """No-progress suspicion timer: the configured floor, widened by the
+        adaptive cutoff estimator so a congested-but-healthy fabric that
+        legitimately slows delivery also slows suspicion.  Always larger
+        than the fabric's SM reroute delay has to be assumed by the config
+        (the default 2 ms floor clears the 1 ms sweep), so a switch-down
+        blackout window cannot confirm a live peer dead."""
+        return max(self.config.suspicion_timeout, 4.0 * self.cutoff.slack())
+
+    def _probe(self, peer: int):
+        """PING *peer* until it answers or the retry budget is exhausted.
+        Returns True when the peer is (now) confirmed dead."""
+        if peer in self.confirmed_dead:
+            return True
+        cfg = self.config
+        peer_host = self.comm.host_of(peer)
+        wait = max(cfg.liveness_probe_timeout,
+                   4.0 * self.fabric.one_way_delay(self.nic.host, peer_host))
+        for _ in range(cfg.liveness_probe_retries):
+            self._probe_nonce = (self._probe_nonce + 1) & 0xFFFF
+            key = self._probe_nonce
+            pong = self.ctrl.recv(MSG_PONG, key, peer)
+            self.ctrl.send(peer, MSG_PING, key)
+            yield AnyOf(self.sim, [pong, Timeout(self.sim, wait)])
+            if pong.triggered:
+                return False
+            if peer in self.confirmed_dead:
+                return True  # someone else confirmed while we probed
+        self._confirm_death(peer)
+        return True
+
+    def _confirm_death(self, peer: int) -> None:
+        """Local death confirmation: record it, tell every other survivor
+        (reliable RC notices → agreement), update the communicator.
+
+        An *isolated* rank — one whose own NIC or access links are down, so
+        every peer looks dead from its side — keeps its confirmation local:
+        its notices could never leave the host, and the communicator-level
+        membership update is a simulation shortcut that a partitioned
+        minority must not be allowed to abuse (it would "kill" the healthy
+        majority).  The isolated rank still repairs locally (degrading to a
+        sole-survivor completion); the majority independently confirms *it*
+        dead and excludes its result."""
+        if peer in self.confirmed_dead:
+            return
+        self.confirmed_dead.add(peer)
+        if self.trace is not None:
+            self.trace.instant("liveness.confirm", self.sim.now,
+                               {"rank": peer, "via": "probe"})
+        if self.fabric.host_isolated(self.nic.host):
+            return
+        for r in range(self.comm.size):
+            if r in (self.rank, peer) or r in self.comm.dead_ranks:
+                continue
+            self.ctrl.send(r, MSG_DEATH, peer)
+        self.comm.note_death(peer)
+
+    def _dead_in(self, participants: List[int]) -> Set[int]:
+        return self.confirmed_dead.intersection(participants)
+
+    def _check_live(self, op: OpState, participants: List[int], phase: str) -> None:
+        dead = self._dead_in(participants)
+        if dead:
+            raise PeerDeadError(
+                f"peer(s) fail-stopped during {phase}",
+                rank=self.rank, coll_id=op.coll_id, phase=phase, dead=dead,
+            )
+
+    def _recv_live(self, op: OpState, participants: List[int], mtype: int,
+                   key: int, src: int, phase: str,
+                   escalate_live: Optional[int] = None,
+                   min_timeout: Optional[float] = None):
+        """Liveness-bounded control receive: wait for the message, but
+        convert silence into a typed :class:`PeerDeadError`.
+
+        Any confirmed death among *participants* aborts the wait — not just
+        *src*'s: a rank blocked on a live peer that itself detoured into
+        repair would otherwise wait forever, so every membership change
+        sends everyone to the (idempotent) repair path.  Silence from *src*
+        past the suspicion timer is checked against the heartbeat
+        piggyback (any control message counts) before spending probes.
+
+        ``escalate_live`` bounds waits whose message can be lost forever
+        without the sender dying — an activation or final-handshake packet
+        black-holed by a switch that hard-crashed before the SM sweep
+        rerouted (the RC retransmission that would redeliver it is not
+        modeled).  After that many probes *answered alive*, the wait gives
+        up and returns ``None``; the caller proceeds without the message.
+        ``min_timeout`` floors the first suspicion period — activation
+        legitimately takes up to a full collective to arrive, so its wait
+        starts at the op's own cutoff bound rather than the generic timer.
+        """
+        ev = self.ctrl.recv(mtype, key, src)
+        suspicion = self._suspicion_timeout()
+        cap = 16.0 * suspicion
+        wait = max(suspicion, min_timeout or 0.0)
+        live_probes = 0
+        while True:
+            self._check_live(op, participants, phase)
+            yield AnyOf(self.sim, [ev, Timeout(self.sim, wait)])
+            if ev.triggered:
+                return ev.value
+            self._check_live(op, participants, phase)
+            if self.trace is not None:
+                self.trace.instant("liveness.suspect", self.sim.now,
+                                   {"rank": src, "phase": phase})
+            last = self.ctrl.last_heard.get(src)
+            if last is not None and self.sim.now - last < suspicion:
+                # Heard from it recently on another signature — it is slow,
+                # not dead.  Widen and keep waiting without spending probes.
+                suspicion = min(suspicion * 2.0, cap)
+                wait = suspicion
+                continue
+            if (yield from self._probe(src)):
+                raise PeerDeadError(
+                    f"peer {src} fail-stopped during {phase}",
+                    rank=self.rank, coll_id=op.coll_id, phase=phase,
+                    dead=self._dead_in(participants) or {src},
+                )
+            live_probes += 1
+            if escalate_live is not None and live_probes >= escalate_live:
+                return None  # sender alive, message presumably lost
+            suspicion = min(suspicion * 2.0, cap)
+            wait = suspicion
+
+    def _barrier_live(self, op: OpState, tag: int, ranks: List[int]):
+        """The control plane's dissemination barrier with every receive
+        routed through :meth:`_recv_live` (same wire pattern and keys)."""
+        me = ranks.index(self.rank)
+        p = len(ranks)
+        k = 1
+        rnd = 0
+        while k < p:
+            dst = ranks[(me + k) % p]
+            src = ranks[(me - k) % p]
+            key = (tag << 6) | rnd
+            self.ctrl.send(dst, MSG_BARRIER, key)
+            yield from self._recv_live(op, ranks, MSG_BARRIER, key, src, "sync")
+            k <<= 1
+            rnd += 1
+
     # ---------------------------------------------------------- op controller
 
     def run_op(
@@ -760,11 +971,47 @@ class RankEngine:
 
         barrier → [wait activation] → multicast → [activate successor] →
         cutoff-timed wait → recovery* → final handshake.
+
+        With a :class:`~repro.core.communicator.FailurePolicy` configured,
+        every blocking wait is liveness-bounded: a confirmed peer death
+        raises :class:`PeerDeadError` out of the inner lifecycle, and this
+        wrapper either aborts the collective (``ABORT``) or repairs the
+        membership and completes degraded among the survivors
+        (``DEGRADE``).  With the default ``failure_policy=None`` the inner
+        lifecycle runs verbatim — event-for-event identical to the
+        pre-liveness engine.
         """
+        policy = self.config.failure_policy
+        if policy is None:
+            yield from self._run_op_inner(
+                op, participants, activation_pred, activation_succ, live=False
+            )
+            return op
+        try:
+            yield from self._run_op_inner(
+                op, participants, activation_pred, activation_succ, live=True
+            )
+        except PeerDeadError as err:
+            yield from self._repair_and_complete(
+                op, participants, activation_succ, err
+            )
+        return op
+
+    def _run_op_inner(
+        self,
+        op: OpState,
+        participants: List[int],
+        activation_pred: Optional[int],
+        activation_succ: Optional[int],
+        live: bool,
+    ):
         cfg = self.config
         op.mark_phase("start")
         if len(participants) > 1:
-            yield from self.ctrl.barrier(tag=op.coll_id, ranks=participants)
+            if live:
+                yield from self._barrier_live(op, op.coll_id, participants)
+            else:
+                yield from self.ctrl.barrier(tag=op.coll_id, ranks=participants)
         op.mark_phase("sync")
         # Cutoff timer (§III-C): N/B + α, where N bounds the bytes that
         # must cross the receive path.  For Allgather the chain schedule
@@ -795,7 +1042,21 @@ class RankEngine:
                         {"timeout": expected + slack})
         if op.is_sender and len(participants) > 1:
             if activation_pred is not None:
-                yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
+                if live:
+                    # Floor the suspicion at the op's own cutoff bound —
+                    # activation legitimately takes up to a full collective
+                    # to arrive.  Escalation (None) means the predecessor is
+                    # alive but the packet was black-holed (e.g. a switch
+                    # died before the SM sweep): proceed and multicast
+                    # anyway, exactly like the repair path's chain splice.
+                    yield from self._recv_live(
+                        op, participants, MSG_ACTIVATE,
+                        op.coll_id, activation_pred, "activation",
+                        escalate_live=2,
+                        min_timeout=max(deadline - self.sim.now, 0.0),
+                    )
+                else:
+                    yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
             yield from self.run_send(op)
             op.mark_phase("send_done")
             if activation_succ is not None:
@@ -803,18 +1064,26 @@ class RankEngine:
                     trc.instant("seq.activate", self.sim.now,
                                 {"succ": activation_succ})
                 self.ctrl.send(activation_succ, MSG_ACTIVATE, op.coll_id)
+                op.mark_phase("activated")
         recovery_deadline_abs: Optional[float] = None
         while not op.data_done.triggered:
+            if live:
+                self._check_live(op, participants, "data")
             remaining = max(deadline - self.sim.now, 1e-9)
             yield AnyOf(self.sim, [op.data_done, Timeout(self.sim, remaining)])
             if op.data_done.triggered:
                 break
+            if live:
+                self._check_live(op, participants, "data")
             if trc is not None:
                 trc.instant("reliability.fire", self.sim.now)
             if recovery_deadline_abs is None:
                 op.mark_phase("recovery")
                 recovery_deadline_abs = self.sim.now + cfg.recovery_deadline
-            yield from self.run_recovery(op, participants, recovery_deadline_abs)
+            yield from self.run_recovery(
+                op, participants, recovery_deadline_abs,
+                monitor=participants if live else None,
+            )
             deadline = self.sim.now + cfg.recovery_alpha
             op.cutoff_deadline = deadline
         if cfg.adaptive_cutoff:
@@ -829,7 +1098,16 @@ class RankEngine:
             left = participants[(me - 1) % len(participants)]
             right = participants[(me + 1) % len(participants)]
             self.ctrl.send(left, MSG_FINAL, op.coll_id)
-            yield self.ctrl.recv(MSG_FINAL, op.coll_id, right)
+            if live:
+                # Escalation here means the right neighbour is alive but its
+                # MSG_FINAL was lost on a crashed element before reroute —
+                # its data phase is done (it reached the final ring), so
+                # completing without the token is safe.
+                yield from self._recv_live(op, participants, MSG_FINAL,
+                                           op.coll_id, right, "final",
+                                           escalate_live=2)
+            else:
+                yield self.ctrl.recv(MSG_FINAL, op.coll_id, right)
         op.mark_phase("final")
         if trc is not None:
             # Per-phase spans (Fig 10 critical-path attribution), emitted
@@ -840,5 +1118,137 @@ class RankEngine:
             trc.complete("phase.sync", t_start, t_sync - t_start)
             trc.complete("phase.multicast", t_sync, t_data - t_sync)
             trc.complete("phase.handshake", t_data, t_final - t_data)
-        op.op_done.succeed()
+        if not op.op_done.triggered:  # a death notice may have abandoned us
+            op.op_done.succeed()
         return op
+
+    # ------------------------------------------------------ fail-stop repair
+
+    def _repair_and_complete(self, op: OpState, participants: List[int],
+                             activation_succ: Optional[int], err: PeerDeadError):
+        """Degraded-mode completion after a confirmed fail-stop.
+
+        Loops until the dead set stops growing mid-repair: re-plans the
+        topology, splices this rank into the broadcast chain if its
+        activation never arrived, completes the data phase among the
+        survivors (unrecoverable chunks voided with validity-mask
+        bookkeeping), and finishes **without** a survivor barrier or final
+        ring — peers that already completed the healthy lifecycle cannot
+        participate in either, and agreement is already carried by the
+        reliable MSG_DEATH notices.
+        """
+        cfg = self.config
+        trc = self.trace
+        if trc is not None:
+            trc.instant("repair.replan", self.sim.now,
+                        {"coll_id": op.coll_id, "phase": err.phase,
+                         "dead": sorted(err.dead)})
+        while True:
+            if op.aborted:
+                # A death notice voided this op from under us (e.g. a
+                # partitioned rank the survivors agreed is dead) — nothing
+                # left to repair.
+                return op
+            dead = set(self._dead_in(participants))
+            survivors = [p for p in participants if p not in dead]
+            if cfg.failure_policy == "abort":
+                op.abandon()
+                raise CollectiveAbortedError(
+                    f"collective aborted on rank {self.rank}: peer(s) "
+                    f"{sorted(dead)} fail-stopped",
+                    rank=self.rank, coll_id=op.coll_id, kind=op.kind,
+                    phase=err.phase, dead_ranks=dead,
+                    missing_chunks=op.missing_chunks, n_chunks=op.n_chunks,
+                )
+            self.comm.repair_topology()
+            try:
+                if (op.is_sender and "send_done" not in op.phases
+                        and len(survivors) > 1):
+                    # Chain splice: our activation never arrived (the chain
+                    # broke at the dead rank) — multicast now, over the
+                    # repaired tree.
+                    yield from self.run_send(op)
+                    op.mark_phase("send_done")
+                if (activation_succ is not None
+                        and "activated" not in op.phases
+                        and activation_succ in survivors):
+                    # Keep the chain moving: our successor is still waiting
+                    # on the activation we never got around to sending.
+                    self.ctrl.send(activation_succ, MSG_ACTIVATE, op.coll_id)
+                    op.mark_phase("activated")
+                yield from self._degraded_fetch(op, survivors, dead)
+                break
+            except PeerDeadError as err2:
+                err = err2  # the dead set grew mid-repair; replan
+                continue
+        op.dead_ranks |= dead
+        if "sync" not in op.phases:
+            op.mark_phase("sync")
+        if "data" not in op.phases:
+            op.mark_phase("data")
+        op.mark_phase("final")
+        if not op.op_done.triggered:  # a death notice may have abandoned us
+            op.op_done.succeed()
+        return op
+
+    def _degraded_fetch(self, op: OpState, survivors: List[int], dead: Set[int]):
+        """Finish the data phase among *survivors*: void chunks whose only
+        source died, then pull everything else through the normal fetch
+        ring restricted to the survivors."""
+        cfg = self.config
+        self._void_unrecoverable(op, survivors, dead)
+        op.maybe_complete()
+        if len(survivors) < 2 and not op.data_done.triggered:
+            # Sole survivor: nothing left to fetch from — whatever is still
+            # missing died with its only sources.
+            for start, count in op.bitmap.missing_runs():
+                op.mark_void(start, count)
+            op.maybe_complete()
+            return
+        deadline_abs = self.sim.now + cfg.recovery_deadline
+        while not op.data_done.triggered:
+            yield from self.run_recovery(op, survivors, deadline_abs,
+                                         monitor=survivors)
+            # New chunks may have propagated to (or died with) peers since
+            # the last sweep; re-derive what is permanently gone.
+            self._void_unrecoverable(op, survivors, dead)
+            op.maybe_complete()
+
+    def _void_unrecoverable(self, op: OpState, survivors: List[int],
+                            dead: Set[int]) -> None:
+        """Void every missing chunk that (a) was a dead rank's to multicast
+        and (b) no survivor holds placed — its last copy died with the
+        host.  Chunks outside dead send ranges are never voided: their
+        (surviving) owner will still multicast or serve them."""
+        dead_ranges = []
+        for d in sorted(dead):
+            peer_op = self.comm.engines[d].ops.get(op.coll_id)
+            if peer_op is not None and peer_op.send_hi > peer_op.send_lo:
+                dead_ranges.append((peer_op.send_lo, peer_op.send_hi))
+        if not dead_ranges:
+            return
+        surv_ops = [
+            o for o in (
+                self.comm.engines[s].ops.get(op.coll_id)
+                for s in survivors if s != self.rank
+            ) if o is not None
+        ]
+        voided = 0
+        for start, count in op.bitmap.missing_runs():
+            for lo, hi in dead_ranges:
+                s, e = max(start, lo), min(start + count, hi)
+                run_lo = None
+                for p in range(s, e):
+                    if any(o.placed.test(p) for o in surv_ops):
+                        if run_lo is not None:
+                            op.mark_void(run_lo, p - run_lo)
+                            voided += p - run_lo
+                            run_lo = None
+                    elif run_lo is None:
+                        run_lo = p
+                if run_lo is not None:
+                    op.mark_void(run_lo, e - run_lo)
+                    voided += e - run_lo
+        if voided and self.trace is not None:
+            self.trace.instant("repair.void", self.sim.now,
+                               {"coll_id": op.coll_id, "chunks": voided})

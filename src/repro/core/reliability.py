@@ -27,7 +27,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ReliabilityError", "CutoffEstimator", "backoff_delay"]
+__all__ = [
+    "ReliabilityError",
+    "PeerDeadError",
+    "CollectiveAbortedError",
+    "CutoffEstimator",
+    "backoff_delay",
+]
 
 
 class ReliabilityError(RuntimeError):
@@ -49,6 +55,8 @@ class ReliabilityError(RuntimeError):
         elapsed: float,
         deadline: float,
         counters: Optional[Dict[str, int]] = None,
+        phase: str = "recovery",
+        retry_histogram: Optional[List[int]] = None,
     ) -> None:
         super().__init__(message)
         self.rank = rank
@@ -59,6 +67,9 @@ class ReliabilityError(RuntimeError):
         self.elapsed = elapsed
         self.deadline = deadline
         self.counters = dict(counters or {})
+        self.phase = phase
+        #: fetch rounds spent per recovery invocation (op.retry_histogram)
+        self.retry_histogram = list(retry_histogram or [])
 
     def __str__(self) -> str:
         base = super().__str__()
@@ -70,6 +81,72 @@ class ReliabilityError(RuntimeError):
         )
         extra = " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
         return f"{base} [{diag}{' ' + extra if extra else ''}]"
+
+
+class PeerDeadError(RuntimeError):
+    """The liveness layer confirmed one or more peers fail-stopped.
+
+    Raised *inside* a rank's op controller when a blocking wait (barrier,
+    activation, final handshake, fetch ACK) is resolved by death
+    confirmation rather than by the expected message.  The controller
+    catches it and either repairs (``FailurePolicy.DEGRADE``) or converts
+    it into :class:`CollectiveAbortedError` (``FailurePolicy.ABORT``) —
+    it never escapes a healthy run.
+    """
+
+    def __init__(self, message: str, *, rank: int, coll_id: int, phase: str, dead) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.coll_id = coll_id
+        self.phase = phase
+        self.dead = frozenset(dead)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return (
+            f"{base} [rank={self.rank} coll_id={self.coll_id} "
+            f"phase={self.phase} dead={sorted(self.dead)}]"
+        )
+
+
+class CollectiveAbortedError(RuntimeError):
+    """A collective was aborted because a participant fail-stopped and the
+    communicator's :class:`~repro.core.communicator.FailurePolicy` is
+    ``ABORT``.
+
+    Unlike :class:`PeerDeadError` (an internal control-flow signal) this is
+    the *user-facing* outcome: it names the dead ranks, the phase the
+    survivor was in, and how much of the payload had landed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int,
+        coll_id: int,
+        kind: str,
+        phase: str,
+        dead_ranks,
+        missing_chunks: int = 0,
+        n_chunks: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.coll_id = coll_id
+        self.kind = kind
+        self.phase = phase
+        self.dead_ranks = tuple(sorted(dead_ranks))
+        self.missing_chunks = missing_chunks
+        self.n_chunks = n_chunks
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return (
+            f"{base} [rank={self.rank} coll_id={self.coll_id} kind={self.kind} "
+            f"phase={self.phase} dead_ranks={list(self.dead_ranks)} "
+            f"missing={self.missing_chunks}/{self.n_chunks}]"
+        )
 
 
 class CutoffEstimator:

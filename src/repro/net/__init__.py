@@ -22,7 +22,7 @@ work requests, post sends with immediate data, poll CQEs.
 """
 
 from repro.net.packet import Packet, PacketKind
-from repro.net.faults import GilbertElliott, StragglerSpec, Window
+from repro.net.faults import CrashSpec, GilbertElliott, StragglerSpec, Window
 from repro.net.link import Channel, FaultSpec
 from repro.net.switch import Switch
 from repro.net.memory import Memory, MemoryRegion
@@ -43,6 +43,7 @@ __all__ = [
     "CQE",
     "Channel",
     "CompletionQueue",
+    "CrashSpec",
     "Fabric",
     "FaultSpec",
     "GilbertElliott",

@@ -20,11 +20,11 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
-from repro.net.faults import StragglerSpec
+from repro.net.faults import CrashSpec, StragglerSpec
 from repro.net.link import Channel, FaultSpec
 from repro.net.nic import Nic
 from repro.net.switch import Switch
-from repro.net.topology import Topology, host_id, is_host
+from repro.net.topology import Topology, host_id, host_name, is_host
 from repro.sim.random import RandomStreams
 from repro.units import US, gbit_per_s
 
@@ -102,6 +102,17 @@ class Fabric:
         self.switches: Dict[str, Switch] = {}
         self.channels: Dict[Tuple[str, str], Channel] = {}
         self._stragglers: Dict[int, StragglerSpec] = {}
+        # --- fail-stop state (crashes are permanent; sets only grow) ---
+        self.dead_hosts: Set[int] = set()
+        self.dead_switches: Set[str] = set()
+        self.dead_links: Set[Tuple[str, str]] = set()
+        self._crash_listeners: list = []
+        #: delay between a switch/link hard-down and the subnet manager's
+        #: automatic re-sweep (reroute + multicast tree rebuild).  Host
+        #: crashes do not trigger a sweep: routes through a dead host's
+        #: leaf port are harmless, and the collective layer owns host
+        #: membership repair.
+        self.sm_reroute_delay = 1e-3
         self.mcast_groups: Dict[int, McastGroup] = {}
         self._gid_counter = itertools.count(0)
         self._inc_gid_counter = itertools.count(1 << 16)  # disjoint from mcast gids
@@ -223,6 +234,160 @@ class Fabric:
         mirror of :meth:`Channel._train_inert`)."""
         spec = self._stragglers.get(host)
         return spec is None or spec.inert_over(t0, t1)
+
+    # ------------------------------------------------------------ fail-stop
+
+    def on_crash(self, listener) -> None:
+        """Register ``listener(spec: CrashSpec)``, called at the instant a
+        scheduled crash executes.  Used by the communicator to terminate the
+        dead host's *local* processes (software dies with the host) — the
+        surviving ranks must learn about the death through the liveness
+        protocol, never from this oracle."""
+        self._crash_listeners.append(listener)
+
+    def schedule_crash(self, spec: CrashSpec) -> None:
+        """Arm a fail-stop fault to strike at ``spec.at`` virtual seconds.
+
+        Validates the target now so a typo'd name fails at the call site.
+        Composable with the chaos schedules: drops/flaps/stragglers keep
+        running on the surviving elements.
+        """
+        if spec.host is not None:
+            self._resolve_host(spec.host)  # raises on bad name
+        elif spec.switch is not None:
+            if spec.switch not in self.switches:
+                raise ValueError(f"unknown switch {spec.switch!r}")
+        else:
+            a, b = spec.link  # type: ignore[misc]
+            if (a, b) not in self.channels and (b, a) not in self.channels:
+                raise ValueError(f"no link between {a!r} and {b!r}")
+        self.sim.post_at(spec.at, self._execute_crash, spec)
+
+    def _resolve_host(self, host) -> int:
+        if isinstance(host, str):
+            return host_id(host)
+        h = int(host)
+        if not 0 <= h < self.n_hosts:
+            raise ValueError(f"host {host} out of range")
+        return h
+
+    def _execute_crash(self, spec: CrashSpec) -> None:
+        if spec.host is not None:
+            self.crash_host(self._resolve_host(spec.host))
+        elif spec.switch is not None:
+            self.crash_switch(spec.switch)
+            self.sim.post_later(self.sm_reroute_delay, self._sm_sweep)
+        else:
+            self.crash_link(*spec.link)  # type: ignore[misc]
+            self.sim.post_later(self.sm_reroute_delay, self._sm_sweep)
+        for listener in self._crash_listeners:
+            listener(spec)
+
+    def _sm_sweep(self) -> None:
+        """Subnet-manager failure sweep: reprogram unicast routes around the
+        dead set and rebuild every multicast tree over surviving members.
+        Runs ``sm_reroute_delay`` after a switch or link crash, so a
+        mid-collective spine failure heals via the surviving spine and the
+        existing cutoff/fetch recovery re-delivers what was black-holed."""
+        self.reroute_unicast()
+        dead = self.dead_node_names()
+        for gid, group in self.mcast_groups.items():
+            survivors = [m for m in sorted(group.members) if m not in self.dead_hosts]
+            if not survivors:
+                continue
+            try:
+                self.rebuild_mcast_group(gid, survivors, dead)
+            except ValueError:
+                # Partitioned group (no surviving tree spans the members);
+                # leave the stale tree — the collective layer will abort.
+                pass
+
+    def crash_host(self, host: int) -> None:
+        """Kill host *host* permanently: its NIC stops transmitting and
+        receiving (wire and loopback) from this instant on."""
+        nic = self.nics[host]
+        nic.dead = True
+        if nic.egress is not None:
+            nic.egress.down = True
+        self.dead_hosts.add(host)
+
+    def crash_switch(self, name: str) -> None:
+        """Kill switch *name* permanently: it black-holes every packet and
+        all its ports (both directions) go down."""
+        sw = self.switches[name]
+        sw.dead = True
+        for ch in sw.ports.values():
+            ch.down = True
+        for (src, dst), ch in self.channels.items():
+            if dst == name:
+                ch.down = True
+        self.dead_switches.add(name)
+
+    def crash_link(self, a: str, b: str) -> None:
+        """Take the ``a ↔ b`` link hard-down, both directions."""
+        found = False
+        for pair in ((a, b), (b, a)):
+            ch = self.channels.get(pair)
+            if ch is not None:
+                ch.down = True
+                found = True
+        if not found:
+            raise ValueError(f"no link between {a!r} and {b!r}")
+        key = (a, b) if a < b else (b, a)
+        self.dead_links.add(key)
+
+    def host_isolated(self, host: int) -> bool:
+        """True when *host* cannot reach the rest of the fabric: its NIC is
+        dead, or every access channel touching it (either direction) is
+        hard-down.  The liveness layer consults this before propagating a
+        death confirmation — a partitioned minority that cannot deliver a
+        packet must not be allowed to declare the healthy majority dead
+        through communicator-level bookkeeping."""
+        nic = self.nics.get(host)
+        if nic is None or nic.dead:
+            return True
+        name = host_name(host)
+        attached = [ch for (src, dst), ch in self.channels.items()
+                    if src == name or dst == name]
+        return bool(attached) and all(ch.down for ch in attached)
+
+    def dead_node_names(self) -> Set[str]:
+        """Names of every dead host and switch (routing exclusion set)."""
+        out = {host_name(h) for h in self.dead_hosts}
+        out |= self.dead_switches
+        return out
+
+    def reroute_unicast(self, exclude: Optional[Set[str]] = None) -> None:
+        """Reprogram every surviving switch's unicast table with routes
+        that detour around ``exclude`` (default: the current dead set) —
+        the subnet-manager sweep after a hard failure."""
+        if exclude is None:
+            exclude = self.dead_node_names()
+        tables = self.topology.unicast_tables(exclude)
+        for sw_name, table in tables.items():
+            sw = self.switches[sw_name]
+            if sw.dead:
+                continue
+            sw.unicast_table = dict(table)
+
+    def rebuild_mcast_group(self, gid: int, members: Sequence[int],
+                            exclude: Optional[Set[str]] = None) -> None:
+        """Re-plan group *gid*'s spanning tree around dead elements and
+        reprogram the surviving switches (switch-down repair path)."""
+        group = self.mcast_groups.get(gid)
+        if group is None:
+            raise KeyError(f"multicast group {gid} does not exist")
+        if exclude is None:
+            exclude = self.dead_node_names()
+        members_set = set(int(m) for m in members)
+        tree = self.topology.mcast_tree(gid, sorted(members_set), exclude)
+        for sw in self.switches.values():
+            sw.mcast_table.pop(gid, None)
+        for node, neighbors in tree.items():
+            if not is_host(node):
+                self.switches[node].install_mcast(gid, set(neighbors))
+        group.members = members_set
+        group.tree = tree
 
     def one_way_delay(self, src: int, dst) -> float:
         """Propagation-only delay estimate host→host (for ack modeling)."""

@@ -17,6 +17,11 @@ cannot keep up.  This module adds the time-varying fault vocabulary:
   rank's progress engine pays ``extra_poll_delay`` per CQE poll, modeling a
   slow receiver (CPU contention, thermal throttling) whose staging ring
   backs up into RNR drops.
+* :class:`CrashSpec` — a *fail-stop* fault: a host/NIC death, hard
+  switch-down, or hard link-down at a virtual time.  Unlike the transient
+  pathologies above, a crash is permanent — the element never comes back —
+  and is repaired by the communicator's membership/re-plan machinery, not
+  by the packet-level slow path.
 
 All specs validate at construction so misconfiguration fails loudly at the
 call site instead of misbehaving packets-deep inside the channel.
@@ -25,9 +30,15 @@ call site instead of misbehaving packets-deep inside the channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
-__all__ = ["GilbertElliott", "Window", "StragglerSpec", "normalize_windows"]
+__all__ = [
+    "GilbertElliott",
+    "Window",
+    "StragglerSpec",
+    "CrashSpec",
+    "normalize_windows",
+]
 
 
 def _check_prob(name: str, p: float) -> None:
@@ -109,13 +120,33 @@ class Window:
 
 def normalize_windows(windows: Iterable) -> Tuple[Window, ...]:
     """Coerce ``(start, end)`` / ``(start, end, factor)`` tuples into
-    validated :class:`Window` objects (passing Windows through)."""
+    validated :class:`Window` objects (passing Windows through).
+
+    Windows are returned sorted by start time.  Zero-length windows
+    (``end == start``) and overlapping pairs are rejected with a
+    :class:`ValueError` naming the offending window(s): overlap semantics
+    would otherwise be silently order-dependent (which window's ``factor``
+    wins inside the intersection depends on iteration order).
+    """
     out = []
     for w in windows:
         if isinstance(w, Window):
             out.append(w)
         else:
             out.append(Window(*w))
+    for w in out:
+        if w.end == w.start:
+            raise ValueError(
+                f"zero-length window [{w.start}, {w.end}) matches no instant; "
+                "drop it or give it a positive duration"
+            )
+    out.sort(key=lambda w: (w.start, w.end))
+    for a, b in zip(out, out[1:]):
+        if b.start < a.end:
+            raise ValueError(
+                f"windows [{a.start}, {a.end}) and [{b.start}, {b.end}) "
+                "overlap; merge them or make them disjoint"
+            )
     return tuple(out)
 
 
@@ -155,3 +186,55 @@ class StragglerSpec:
             if w.start <= t1 and w.end > t0:
                 return False
         return True
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """A permanent fail-stop fault injected at virtual time ``at``.
+
+    Exactly one of the three targets must be set:
+
+    * ``host`` — the named host's NIC dies: it stops transmitting and
+      receiving (including loopback), and the rank's progress engine is
+      terminated.  Models a host crash or NIC death.
+    * ``switch`` — the named switch goes dark: every packet arriving at or
+      forwarded by it is dropped.  Survivor traffic must reroute via a
+      surviving spine.
+    * ``link`` — a ``(end_a, end_b)`` node-name pair; both directions of
+      the channel between them go down permanently.
+
+    Crashes compose with the transient chaos schedules (drops, flaps,
+    stragglers): the chaos layer keeps perturbing the surviving elements
+    while the crash removes one permanently.
+    """
+
+    at: float
+    host: Optional[str] = None
+    switch: Optional[str] = None
+    link: Optional[Tuple[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+        targets = [t for t in (self.host, self.switch, self.link) if t is not None]
+        if len(targets) != 1:
+            raise ValueError(
+                "CrashSpec needs exactly one of host=, switch=, link=, "
+                f"got {len(targets)} targets"
+            )
+        if self.link is not None:
+            pair = tuple(self.link)
+            if len(pair) != 2 or pair[0] == pair[1]:
+                raise ValueError(
+                    f"link crash needs two distinct endpoint names, got {self.link!r}"
+                )
+            object.__setattr__(self, "link", pair)
+
+    @property
+    def target(self) -> str:
+        """Human-readable name of the element that dies."""
+        if self.host is not None:
+            return self.host
+        if self.switch is not None:
+            return self.switch
+        return "%s<->%s" % self.link  # type: ignore[str-format]

@@ -163,6 +163,7 @@ class Channel:
         "payload_bytes_sent",
         "bytes_dropped",
         "packets_dropped",
+        "down",
         "trains_sent",
         "train_packets",
         "_droppable_seq",
@@ -207,6 +208,9 @@ class Channel:
         self.packets_sent = 0
         self.bytes_dropped = 0
         self.packets_dropped = 0
+        #: fail-stop flag: a downed port drops everything instantly (set by
+        #: Fabric.crash_link / crash_switch, never cleared)
+        self.down = False
         self.trains_sent = 0  #: coalesced trains moved as one event
         self.train_packets = 0  #: packets carried inside those trains
         self._droppable_seq = 0  #: index among fault-affected packets
@@ -230,6 +234,10 @@ class Channel:
         packet still occupies the wire but is never delivered.
         """
         now = self.sim.now
+        if self.down:
+            self.bytes_dropped += packet.wire_bytes
+            self.packets_dropped += 1
+            return now
         bandwidth = self.bandwidth
         if self.fault is not None:
             # Degraded-bandwidth periods slow the wire itself, for every
@@ -318,6 +326,11 @@ class Channel:
         if n == 0:
             return []
         now = self.sim.now
+        if self.down:
+            for p in packets:
+                self.bytes_dropped += p.wire_bytes
+            self.packets_dropped += n
+            return [now] * n
         eligible = (
             self.coalescing
             and n > 1

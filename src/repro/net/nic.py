@@ -363,6 +363,9 @@ class Nic:
         self.rnr_drops = 0
         self.packets_received = 0
         self.bytes_received = 0
+        #: fail-stop flag: a dead NIC neither transmits nor receives, wire
+        #: or loopback (set by Fabric.crash_host, never cleared)
+        self.dead = False
         #: observability track (repro.obs.trace.Track) or None; records
         #: timestamps only, never schedules events.
         self.trace = None
@@ -564,6 +567,8 @@ class Nic:
         self._transmit(pkt)
 
     def _transmit(self, pkt: Packet) -> float:
+        if self.dead:
+            return self.sim.now  # dead NIC: packet vanishes, no wire time
         if pkt.dst == self.host:
             # Loopback: no wire, small constant DMA turnaround.
             finish = self.sim.now + self.fabric.loopback_delay
@@ -577,6 +582,9 @@ class Nic:
         """Transmit a same-destination packet run built at this instant;
         returns per-packet serialization-finish times.  Multi-packet wire
         runs go out as a train (coalesced when the channel allows it)."""
+        if self.dead:
+            now = self.sim.now
+            return [now for _ in pkts]
         if pkts[0].dst == self.host:
             return [self._transmit(p) for p in pkts]
         if self.egress is None:
@@ -599,6 +607,8 @@ class Nic:
         the train is consumed HERE, in this one event: payloads land and
         CQEs are pushed immediately, each stamped with its exact per-packet
         arrival instant for the consumer to anchor on."""
+        if self.dead:
+            return
         pkts = train.packets
         arr = train.arrivals
         n = len(pkts)
@@ -711,6 +721,8 @@ class Nic:
 
     def receive(self, packet: Packet, channel: Optional[Channel]) -> None:
         """Called by the delivering channel (or loopback)."""
+        if self.dead:
+            return
         self.packets_received += 1
         self.bytes_received += packet.payload_len
         if packet.kind is PacketKind.INC_REDUCE:

@@ -39,6 +39,10 @@ class Switch:
         self.inc_handler = None
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
+        #: fail-stop flag: a dead switch black-holes everything it touches
+        #: (set by Fabric.crash_switch, never cleared — crashes are permanent)
+        self.dead = False
+        self.packets_dropped_dead = 0
         #: observability track or None (see repro.obs); only train relays
         #: are traced — per-packet egress is visible on the link tracks.
         self.trace = None
@@ -71,6 +75,9 @@ class Switch:
             self._forward(packet, in_port)
 
     def _forward(self, packet: Packet, in_port: Optional[str]) -> None:
+        if self.dead:
+            self.packets_dropped_dead += 1
+            return
         if self.inc_handler is not None and packet.kind.name == "INC_REDUCE":
             self.inc_handler(self, packet, in_port)
             return
@@ -105,6 +112,9 @@ class Switch:
 
     def _forward_train(self, train: PacketTrain, in_port: Optional[str]) -> None:
         pkts = train.packets
+        if self.dead:
+            self.packets_dropped_dead += len(pkts)
+            return
         first = pkts[0]
         if self.inc_handler is not None and first.kind.name == "INC_REDUCE":
             # INC traffic never rides trains (sent per-packet by the tree

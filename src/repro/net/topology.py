@@ -106,28 +106,33 @@ class Topology:
 
     # --------------------------------------------------------------- routing
 
-    def _distances_to(self, dst: int) -> Dict[str, int]:
-        """BFS hop counts from every node to host *dst* (cached)."""
-        cached = self._dist_cache.get(dst)
-        if cached is not None:
-            return cached
+    def _distances_to(self, dst: int, exclude: Optional[Set[str]] = None) -> Dict[str, int]:
+        """BFS hop counts from every node to host *dst* (cached when no
+        exclusion set is given; repair-time reroutes pass ``exclude`` and
+        are computed fresh — failures are rare, routing is hot)."""
+        if not exclude:
+            cached = self._dist_cache.get(dst)
+            if cached is not None:
+                return cached
         start = host_name(dst)
         dist = {start: 0}
         queue = collections.deque([start])
         while queue:
             node = queue.popleft()
             for nxt in self.adjacency[node]:
-                if nxt not in dist:
+                if nxt not in dist and not (exclude and nxt in exclude):
                     dist[nxt] = dist[node] + 1
                     queue.append(nxt)
-        self._dist_cache[dst] = dist
+        if not exclude:
+            self._dist_cache[dst] = dist
         return dist
 
-    def next_hop(self, node: str, dst: int) -> str:
-        """Deterministic next hop from *node* toward host *dst*."""
+    def next_hop(self, node: str, dst: int, exclude: Optional[Set[str]] = None) -> str:
+        """Deterministic next hop from *node* toward host *dst*, avoiding
+        any node named in ``exclude`` (dead switches, for reroutes)."""
         if node == host_name(dst):
             raise ValueError("already at destination")
-        dist = self._distances_to(dst)
+        dist = self._distances_to(dst, exclude)
         if node not in dist:
             raise ValueError(f"{node} cannot reach h{dst}")
         d = dist[node]
@@ -144,36 +149,60 @@ class Topology:
             out.append(node)
         return out
 
-    def unicast_tables(self) -> Dict[str, Dict[int, str]]:
-        """Per-switch forwarding tables: ``switch → {dst_host → neighbor}``."""
+    def unicast_tables(self, exclude: Optional[Set[str]] = None) -> Dict[str, Dict[int, str]]:
+        """Per-switch forwarding tables: ``switch → {dst_host → neighbor}``.
+
+        With ``exclude``, routes detour around the named dead nodes
+        (excluded switches get empty tables; unreachable destinations are
+        simply absent from the surviving tables).
+        """
         tables: Dict[str, Dict[int, str]] = {sw: {} for sw in self.switch_names}
         for dst in range(self.n_hosts):
-            dist = self._distances_to(dst)
+            if exclude and host_name(dst) in exclude:
+                continue
+            dist = self._distances_to(dst, exclude)
             for sw in self.switch_names:
+                if exclude and sw in exclude:
+                    continue
                 if sw in dist and dist[sw] > 0:
-                    tables[sw][dst] = self.next_hop(sw, dst)
+                    tables[sw][dst] = self.next_hop(sw, dst, exclude)
         return tables
 
     # ------------------------------------------------------------- multicast
 
-    def mcast_root(self, gid: int) -> Optional[str]:
-        """Core switch acting as the spanning-tree root for group *gid*."""
-        if not self.core_switches:
-            return None
-        return self.core_switches[gid % len(self.core_switches)]
+    def mcast_root(self, gid: int, exclude: Optional[Set[str]] = None) -> Optional[str]:
+        """Core switch acting as the spanning-tree root for group *gid*.
 
-    def mcast_tree(self, gid: int, members: Sequence[int]) -> Dict[str, Set[str]]:
+        With ``exclude``, dead cores are skipped and the root is picked
+        from the survivors with the same ``gid``-based rotation — every
+        surviving rank computes the same answer from the same dead set.
+        """
+        cores = self.core_switches
+        if exclude:
+            cores = [c for c in cores if c not in exclude]
+        if not cores:
+            return None
+        return cores[gid % len(cores)]
+
+    def mcast_tree(
+        self,
+        gid: int,
+        members: Sequence[int],
+        exclude: Optional[Set[str]] = None,
+    ) -> Dict[str, Set[str]]:
         """Spanning-tree adjacency for a multicast group.
 
         Returns ``node → set(tree neighbors)`` covering all member hosts.
         Built as the union of deterministic unicast paths root→member, so
-        the tree inherits the routing's spine choice determinism.
+        the tree inherits the routing's spine choice determinism.  With
+        ``exclude``, the tree avoids the named dead nodes entirely — the
+        repair path for a switch-down reroute via a surviving spine.
         """
         members = sorted(set(members))
         if len(members) < 2:
             raise ValueError("a multicast group needs at least 2 members")
         tree: Dict[str, Set[str]] = collections.defaultdict(set)
-        root = self.mcast_root(gid)
+        root = self.mcast_root(gid, exclude)
         if root is None:
             # Switchless topology (back-to-back): direct host-host edge.
             if len(members) != 2:
@@ -199,7 +228,7 @@ class Topology:
             neighbors = self.adjacency[node]
             rot = gid % len(neighbors) if neighbors else 0
             for nxt in neighbors[rot:] + neighbors[:rot]:
-                if nxt not in parent:
+                if nxt not in parent and not (exclude and nxt in exclude):
                     parent[nxt] = node
                     order.append(nxt)
         for m in members:

@@ -55,6 +55,13 @@ TRACEPOINTS: Dict[str, Any] = {
     "reliability.fetch": ("i", "fetch round issued to a parent/neighbor"),
     "reliability.escalate": ("i", "fetch escalated to an alternate neighbor"),
     "reliability.timeout": ("i", "fetch ACK timed out; round re-armed"),
+    # -- fail-stop fault tolerance ----------------------------------------
+    "liveness.suspect": ("i", "peer silent past the suspicion timer "
+                              "(args: rank, phase)"),
+    "liveness.confirm": ("i", "peer confirmed fail-stopped (args: rank, via)"),
+    "repair.replan": ("i", "membership/topology re-planned around a death"),
+    "repair.void": ("i", "chunks voided as unrecoverable (args: chunks)"),
+    "engine.watchdog": ("i", "simulator no-progress watchdog fired"),
     # -- DPA scheduler ----------------------------------------------------
     "dpa.compute": ("X", "DPA thread occupies a core pipe for a segment"),
 }

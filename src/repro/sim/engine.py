@@ -31,12 +31,29 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "WatchdogError"]
 
 
 class SimulationError(RuntimeError):
     """Raised for structural simulation errors (negative delays, running a
     finished simulator, an unhandled failure propagating out of a process)."""
+
+
+class WatchdogError(SimulationError):
+    """Raised by the hang watchdog: the simulation kept firing events for a
+    full watchdog interval without any registered real-work progress.
+
+    Carries the joined per-rank diagnostic ``report`` so a hung run turns
+    into a readable state dump instead of a timed-out CI job.
+    """
+
+    def __init__(self, message: str, report: str = "") -> None:
+        super().__init__(message)
+        self.report = report
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"{base}\n{self.report}" if self.report else base
 
 
 class _Callback:
@@ -133,6 +150,17 @@ class Simulator:
         # run() selects a separate tight loop so the common case pays zero
         # per-event cost.  Installed by Fabric.install_tracer().
         self.trace_hook: Optional[Callable[[float], None]] = None
+        # Hang watchdog (opt-in via install_watchdog).  `progress` is a bare
+        # counter model code bumps via note_progress() whenever real work
+        # advances (a data chunk lands, a recovery fetch completes); the
+        # armed watchdog re-checks it every interval of virtual time from a
+        # regular queue entry, so the run loops stay untouched.
+        self.progress: int = 0
+        self._wd_interval: float = 0.0
+        self._wd_last_progress: int = -1
+        self._wd_armed = False
+        self._wd_diagnostics: List[Callable[[], str]] = []
+        self._wd_trace: Optional[Any] = None
 
     # ------------------------------------------------------------------ clock
 
@@ -213,6 +241,67 @@ class Simulator:
     def event(self) -> Event:
         """Create a fresh, untriggered :class:`Event` bound to this simulator."""
         return Event(self)
+
+    # -------------------------------------------------------------- watchdog
+
+    def note_progress(self) -> None:
+        """Record that real work advanced (watchdog liveness signal)."""
+        self.progress += 1
+
+    def add_watchdog_diagnostic(self, provider: Callable[[], str]) -> None:
+        """Register a callable whose string output joins the hang report."""
+        self._wd_diagnostics.append(provider)
+
+    def install_watchdog(self, interval: float, trace: Optional[Any] = None) -> None:
+        """Arm the hang watchdog: every ``interval`` virtual seconds, verify
+        that :meth:`note_progress` was called since the previous check.
+
+        If the queue keeps firing events for a whole interval with no
+        progress, the watchdog gathers every registered diagnostic provider's
+        dump and raises :class:`WatchdogError` out of the run loop.  The
+        watchdog stands down automatically when the queue would otherwise be
+        empty, so a clean simulation still drains to completion.  Strictly
+        opt-in: an un-armed simulator schedules nothing and the hot loops
+        are unchanged.
+        """
+        if interval <= 0:
+            raise SimulationError(f"watchdog interval must be > 0, got {interval}")
+        self._wd_interval = interval
+        self._wd_trace = trace
+        self._wd_last_progress = self.progress - 1  # first check always passes
+        if not self._wd_armed:
+            self._wd_armed = True
+            self.post_later(interval, self._watchdog_check)
+
+    def _watchdog_check(self) -> None:
+        if not self._queue:
+            # Nothing else pending: the run is draining cleanly; stand down
+            # rather than keep the queue alive forever.
+            self._wd_armed = False
+            return
+        if self.progress == self._wd_last_progress:
+            report = self.watchdog_report()
+            if self._wd_trace is not None:
+                self._wd_trace.instant("engine.watchdog", self._now,
+                                       {"interval": self._wd_interval})
+            self._wd_armed = False
+            raise WatchdogError(
+                f"no progress for {self._wd_interval} virtual seconds "
+                f"(t={self._now}, {len(self._queue)} events queued)",
+                report,
+            )
+        self._wd_last_progress = self.progress
+        self.post_later(self._wd_interval, self._watchdog_check)
+
+    def watchdog_report(self) -> str:
+        """Join every registered diagnostic provider into one dump."""
+        parts = []
+        for provider in self._wd_diagnostics:
+            try:
+                parts.append(provider())
+            except Exception as exc:  # diagnostics must never mask the hang
+                parts.append(f"<diagnostic provider failed: {exc!r}>")
+        return "\n".join(p for p in parts if p)
 
     # -------------------------------------------------------------- processes
 

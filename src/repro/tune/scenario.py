@@ -21,14 +21,14 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.net.fabric import Fabric
-from repro.net.faults import GilbertElliott
+from repro.net.faults import CrashSpec, GilbertElliott
 from repro.net.link import FaultSpec
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.units import gbit_per_s
 
-__all__ = ["FAULT_PROFILES", "Scenario", "size_bucket"]
+__all__ = ["CRASH_PROFILES", "FAULT_PROFILES", "Scenario", "size_bucket"]
 
 #: bump when the key layout changes — old cache entries then miss cleanly
 KEY_SCHEMA_VERSION = 1
@@ -43,6 +43,20 @@ FAULT_PROFILES: Dict[str, Optional[Callable[[str, str], Optional[FaultSpec]]]] =
     # Bursty Gilbert-Elliott loss (the chaos harness's default regime).
     "burst": lambda s, d: FaultSpec(gilbert_elliott=GilbertElliott(
         p_good_bad=0.02, p_bad_good=0.3, drop_good=0.002, drop_bad=0.15)),
+}
+
+#: named fail-stop crash profiles a scenario can additionally be keyed
+#: on; each maps a scenario to the :class:`CrashSpec` list to arm on its
+#: fabric.  The default ``"none"`` is key-invisible (see
+#: :meth:`Scenario.key`), so every profile tuned before crash awareness
+#: existed keeps its committed digest.
+CRASH_PROFILES: Dict[str, Optional[Callable[["Scenario"], List[CrashSpec]]]] = {
+    "none": None,
+    # The highest rank fail-stops mid-collective (a host death a DEGRADE
+    # policy completes around).
+    "host_mid": lambda sc: [CrashSpec(at=200e-6, host=sc.n_hosts - 1)],
+    # A spine hard-down mid-collective; the SM reroutes via the survivors.
+    "spine_down": lambda sc: [CrashSpec(at=200e-6, switch="spine000")],
 }
 
 
@@ -77,6 +91,9 @@ class Scenario:
     #: per-rank payload (allgather: shard size; broadcast: buffer size)
     msg_bytes: int = 64 * 1024
     fault_profile: str = "clean"
+    #: fail-stop crash schedule name (:data:`CRASH_PROFILES`); "none"
+    #: stays out of the cache key for digest stability
+    crash_profile: str = "none"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -88,6 +105,11 @@ class Scenario:
             raise ValueError(
                 f"unknown fault profile {self.fault_profile!r} "
                 f"(have {sorted(FAULT_PROFILES)})"
+            )
+        if self.crash_profile not in CRASH_PROFILES:
+            raise ValueError(
+                f"unknown crash profile {self.crash_profile!r} "
+                f"(have {sorted(CRASH_PROFILES)})"
             )
         if self.n_hosts < 2:
             raise ValueError("need n_hosts >= 2")
@@ -113,8 +135,13 @@ class Scenario:
         return "leaf_spine"
 
     def key(self) -> Dict[str, object]:
-        """The canonical (JSON-safe, order-independent) tuning key."""
-        return {
+        """The canonical (JSON-safe, order-independent) tuning key.
+
+        ``crash_profile`` joins the key **only** when set: the default
+        "none" must hash exactly as scenarios did before crash awareness
+        existed, keeping every committed profile digest stable.
+        """
+        key: Dict[str, object] = {
             "schema": KEY_SCHEMA_VERSION,
             "collective": self.collective,
             "topology": self.resolved_topo,
@@ -124,6 +151,9 @@ class Scenario:
             "bucket": self.bucket,
             "fault_profile": self.fault_profile,
         }
+        if self.crash_profile != "none":
+            key["crash_profile"] = self.crash_profile
+        return key
 
     def cache_key(self) -> str:
         """Deterministic digest of :meth:`key` — the store's index."""
@@ -134,9 +164,11 @@ class Scenario:
         """Human-readable profile filename stem (digest-suffixed)."""
         kib = self.bucket // 1024
         size = f"{kib}KiB" if kib else f"{self.bucket}B"
+        crash = "" if self.crash_profile == "none" else f"-{self.crash_profile}"
         return (
             f"{self.collective}-{self.resolved_topo}-p{self.n_hosts}"
-            f"-{self.transport}-{size}-{self.fault_profile}-{self.cache_key()[:8]}"
+            f"-{self.transport}-{size}-{self.fault_profile}{crash}"
+            f"-{self.cache_key()[:8]}"
         )
 
     # ------------------------------------------------------------ execution
@@ -173,7 +205,14 @@ class Scenario:
         factory = FAULT_PROFILES[self.fault_profile]
         if factory is not None:
             fabric.set_fault_all(factory)
+        for spec in self.crash_specs():
+            fabric.schedule_crash(spec)
         return fabric
+
+    def crash_specs(self) -> List[CrashSpec]:
+        """The fail-stop schedule this scenario's crash profile arms."""
+        factory = CRASH_PROFILES[self.crash_profile]
+        return [] if factory is None else factory(self)
 
     def make_payload(self) -> List[np.ndarray]:
         """Seeded per-rank payloads (broadcast uses element 0)."""

@@ -79,3 +79,45 @@ def test_cli_tune_list_and_show(capsys):
     doc = json.loads(capsys.readouterr().out)
     assert doc["key"]["n_hosts"] == 188
     assert main(["tune", "--show", "no-such-profile"]) == 1
+
+
+def test_cli_collective_failure_exits_4_with_screen(capsys, monkeypatch):
+    """A typed collective failure escaping any command produces a one-screen
+    summary on stderr (rank, phase, retry histogram) and exit code 4."""
+    import repro.__main__ as cli
+    from repro.core.reliability import ReliabilityError
+
+    def boom():
+        raise ReliabilityError(
+            "recovery deadline exceeded", rank=3, coll_id=7, kind="allgather",
+            missing_chunks=5, n_chunks=32, elapsed=0.26, deadline=0.25,
+            phase="recovery", retry_histogram=[4, 2, 2],
+        )
+
+    monkeypatch.setattr(cli, "_demo", boom)
+    assert main(["demo"]) == cli.EXIT_COLLECTIVE_FAILURE
+    err = capsys.readouterr().err
+    assert "collective failure: ReliabilityError" in err
+    assert "rank     : 3" in err
+    assert "phase    : recovery" in err
+    assert "missing  : 5/32 chunks" in err
+    assert "retries  : [4, 2, 2] (3 recoveries, 8 fetch rounds)" in err
+
+
+def test_cli_abort_failure_screen_names_dead_ranks(capsys, monkeypatch):
+    import repro.__main__ as cli
+    from repro.core.reliability import CollectiveAbortedError
+
+    def boom():
+        raise CollectiveAbortedError(
+            "collective aborted on rank 0: peer(s) [2] fail-stopped",
+            rank=0, coll_id=1, kind="broadcast", phase="data",
+            dead_ranks={2}, missing_chunks=8, n_chunks=32,
+        )
+
+    monkeypatch.setattr(cli, "_demo", boom)
+    assert main(["demo"]) == 4
+    err = capsys.readouterr().err
+    assert "CollectiveAbortedError" in err
+    assert "op       : broadcast (coll_id=1)" in err
+    assert "dead     : ranks [2]" in err

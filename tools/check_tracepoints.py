@@ -27,6 +27,18 @@ CALL_RE = re.compile(
     r"\.(?:instant|complete|counter)\(\s*(['\"])([^'\"]+)\1"
 )
 
+#: tracepoints that must have at least one live emission site — the
+#: fail-stop suite's CI assertions grep traces for these, so a refactor
+#: that silently drops the call site must fail here, not in a flaky
+#: downstream crash test.
+REQUIRED_EMITTED = {
+    "liveness.suspect",
+    "liveness.confirm",
+    "repair.replan",
+    "repair.void",
+    "engine.watchdog",
+}
+
 
 def main() -> int:
     violations = []
@@ -46,9 +58,18 @@ def main() -> int:
                     violations.append(
                         f"{rel}:{lineno}: tracepoint {name!r} is not registered "
                         f"in repro.obs.schema.TRACEPOINTS")
+    missing_required = sorted(REQUIRED_EMITTED - set(TRACEPOINTS))
+    for name in missing_required:
+        violations.append(
+            f"required tracepoint {name!r} is not registered in "
+            f"repro.obs.schema.TRACEPOINTS")
+    for name in sorted(REQUIRED_EMITTED & set(TRACEPOINTS) - used):
+        violations.append(
+            f"required tracepoint {name!r} is catalogued but has no "
+            f"emission site under src/repro")
     for v in violations:
         print(v)
-    unused = sorted(set(TRACEPOINTS) - used)
+    unused = sorted(set(TRACEPOINTS) - used - REQUIRED_EMITTED)
     if unused:
         print(f"note: catalogued but never emitted: {', '.join(unused)}",
               file=sys.stderr)

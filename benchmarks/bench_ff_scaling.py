@@ -1,0 +1,224 @@
+"""Fig. 16-style host-count scaling of the flow-level fast-forward engine.
+
+Sweeps the multicast broadcast across host counts and simulation engines:
+
+* ``pkt``    — packet-level reference: ``fast_forward='off'`` with train
+  coalescing disabled; every wire packet is a simulated event.
+* ``train``  — the packet-train engine (``fast_forward='off'``,
+  coalescing on): clean runs ride the CQE-train/coalesced-DMA fast path.
+* ``exact``  — flow-level fast-forward, bit-identical virtual time to
+  ``pkt`` (the fold replays the per-packet arithmetic).
+* ``banded`` — closed-form per-edge streams, ≤0.5% virtual-time band.
+
+Every broadcast folds as a single phase (``staging_slots`` is sized to
+the chunk count so the receive queue covers the whole payload), so the
+wall-clock ratio ``pkt / exact`` measures exactly what the engine
+replaces: O(packets) event simulation with O(links) arithmetic.
+
+Entry modes:
+
+* ``--smoke`` — the CI ``scaling-smoke`` job: 1024-host broadcast +
+  allgather under banded fast-forward, a hard wall-clock budget, and
+  ``ff_phases`` assertions that fail loudly if the fold silently
+  disengages.  The result table is persisted to
+  ``benchmarks/results/ff_scaling_smoke.txt`` for artifact upload.
+* default — the full sweep (minutes: the ``pkt`` column at 2048 hosts
+  is the cost being amortized), persisted to
+  ``benchmarks/results/ff_scaling.txt``; source of the EXPERIMENTS.md
+  table.
+
+Virtual time is printed for every cell: ``pkt``/``exact``/``banded``
+agreement is the exactness contract, checked here on every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench import format_table, make_fabric, report
+from repro.core.communicator import CollectiveConfig, Communicator
+from repro.units import KiB, MiB
+
+#: engine mode -> (fast_forward knob, train coalescing)
+MODES = {
+    "pkt": ("off", False),
+    "train": ("off", True),
+    "exact": ("exact", False),
+    "banded": ("banded", False),
+}
+
+BCAST_PAYLOAD = 4 * MiB
+CHUNK = 4096
+AG_PER_RANK = KiB
+
+
+def run_broadcast(n_hosts: int, mode: str,
+                  payload: int = BCAST_PAYLOAD) -> Dict[str, object]:
+    ff, coalescing = MODES[mode]
+    fabric = make_fabric(n_hosts, mtu=CHUNK)
+    fabric.set_coalescing(coalescing)
+    cfg = CollectiveConfig(
+        chunk_size=CHUNK,
+        transport="uc",
+        fast_forward=ff,
+        # Cover the whole payload with posted recv WRs so the phase is
+        # fold-eligible end to end (the no-RNR gate needs the posted
+        # depth to absorb every chunk of a folded phase).
+        staging_slots=payload // CHUNK,
+    )
+    comm = Communicator(fabric, config=cfg)
+    # Warm-up: establishes the lazily-built control-plane QP mesh so the
+    # timed section measures the data path, not one-time setup.
+    comm.broadcast(0, np.zeros(64 * KiB, dtype=np.uint8))
+    data = np.arange(payload, dtype=np.uint8) % 251
+    t0 = time.perf_counter()
+    res = comm.broadcast(0, data)
+    wall = time.perf_counter() - t0
+    assert res.verify_broadcast(data), "broadcast payload corrupted"
+    return {
+        "wall_s": wall,
+        "events": res.engine["sim_events"],
+        "virtual_s": res.duration,
+        "ff_phases": res.engine.get("ff_phases", 0),
+    }
+
+
+def run_allgather(n_ranks: int, mode: str,
+                  per_rank: int = AG_PER_RANK) -> Dict[str, object]:
+    ff, coalescing = MODES[mode]
+    fabric = make_fabric(n_ranks, mtu=4096)
+    fabric.set_coalescing(coalescing)
+    cfg = CollectiveConfig(
+        chunk_size=per_rank,
+        transport="uc",
+        fast_forward=ff,
+        # The chain-serialized allgather is activation-latency bound; the
+        # adaptive cutoff's bandwidth-based deadline under-estimates it
+        # at this scale, so pin a static slack that covers the chain.
+        adaptive_cutoff=False,
+        cutoff_alpha=10e-3,
+    )
+    comm = Communicator(fabric, config=cfg)
+    datas = [np.full(per_rank, r % 251, dtype=np.uint8) for r in range(n_ranks)]
+    t0 = time.perf_counter()
+    res = comm.allgather(datas)
+    wall = time.perf_counter() - t0
+    assert res.verify_allgather(datas), "allgather payload corrupted"
+    return {
+        "wall_s": wall,
+        "events": res.engine["sim_events"],
+        "virtual_s": res.duration,
+        "ff_phases": res.engine.get("ff_phases", 0),
+    }
+
+
+def _rows(kind: str, sizes: List[int], modes: List[str],
+          runner) -> List[List[str]]:
+    rows = []
+    for n in sizes:
+        base_wall: Optional[float] = None
+        virts = {}
+        for mode in modes:
+            r = runner(n, mode)
+            virts[mode] = r["virtual_s"]
+            if mode == "pkt":
+                base_wall = r["wall_s"]
+            speedup = (f"{base_wall / r['wall_s']:.1f}x"
+                       if base_wall and mode != "pkt" else "-")
+            rows.append([kind, str(n), mode, f"{r['wall_s']:.2f}",
+                         f"{r['events']:,}", f"{r['virtual_s'] * 1e6:.3f}",
+                         str(r["ff_phases"]), speedup])
+            print(f"  {kind} n={n} {mode}: wall={r['wall_s']:.2f}s "
+                  f"events={r['events']:,} virt={r['virtual_s'] * 1e6:.3f}us "
+                  f"ff_phases={r['ff_phases']}", flush=True)
+        # Exactness contract: pkt and exact must agree bitwise; banded
+        # stays inside its declared band.
+        if "pkt" in virts and "exact" in virts:
+            assert virts["exact"] == virts["pkt"], (
+                f"{kind} n={n}: exact diverged from packet-level "
+                f"({virts['exact']} != {virts['pkt']})")
+        if "pkt" in virts and "banded" in virts:
+            err = abs(virts["banded"] - virts["pkt"]) / virts["pkt"]
+            assert err <= 5e-3, (
+                f"{kind} n={n}: banded outside tolerance ({err:.2%})")
+    return rows
+
+
+HEADERS = ["collective", "hosts", "engine", "wall_s", "events",
+           "virtual_us", "ff_phases", "speedup_vs_pkt"]
+
+
+def full_sweep(bcast_hosts: List[int], ag_hosts: List[int]) -> int:
+    rows = _rows("broadcast", bcast_hosts,
+                 ["pkt", "train", "exact", "banded"], run_broadcast)
+    rows += _rows("allgather", ag_hosts,
+                  ["pkt", "exact", "banded"], run_allgather)
+    report("ff_scaling", format_table(HEADERS, rows))
+    return 0
+
+
+def smoke(budget_s: float) -> int:
+    """CI scaling-smoke: 1024-host broadcast + allgather, banded engine,
+    wall-clock budget + fold-engagement assertions."""
+    t0 = time.perf_counter()
+    rows = []
+    failures = []
+
+    b = run_broadcast(1024, "banded")
+    rows.append(["broadcast", "1024", "banded", f"{b['wall_s']:.2f}",
+                 f"{b['events']:,}", f"{b['virtual_s'] * 1e6:.3f}",
+                 str(b["ff_phases"]), "-"])
+    if b["ff_phases"] != 1:
+        failures.append(
+            f"broadcast fold disengaged (ff_phases={b['ff_phases']}, "
+            "expected 1) — the run fell back to packet level")
+
+    a = run_allgather(1024, "banded")
+    rows.append(["allgather", "1024", "banded", f"{a['wall_s']:.2f}",
+                 f"{a['events']:,}", f"{a['virtual_s'] * 1e6:.3f}",
+                 str(a["ff_phases"]), "-"])
+    if a["ff_phases"] != 1024:
+        failures.append(
+            f"allgather folded {a['ff_phases']}/1024 phases — "
+            "eligibility gates are rejecting clean phases")
+
+    wall = time.perf_counter() - t0
+    rows.append(["total", "-", "-", f"{wall:.2f}", "-", "-", "-", "-"])
+    report("ff_scaling_smoke", format_table(HEADERS, rows))
+    if wall > budget_s:
+        failures.append(
+            f"scaling smoke blew its wall-clock budget: {wall:.1f}s > "
+            f"{budget_s:.0f}s")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"scaling smoke OK in {wall:.1f}s (budget {budget_s:.0f}s)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: banded 1024-host broadcast + allgather "
+                         "under a wall-clock budget")
+    ap.add_argument("--budget", type=float, default=300.0,
+                    help="smoke wall-clock budget in seconds (default 300)")
+    ap.add_argument("--hosts", type=str, default="188,512,1024,2048",
+                    help="broadcast sweep host counts (full mode)")
+    ap.add_argument("--ag-hosts", type=str, default="1024",
+                    help="allgather sweep rank counts (full mode)")
+    args = ap.parse_args()
+    if args.smoke:
+        return smoke(args.budget)
+    bcast_hosts = [int(x) for x in args.hosts.split(",") if x]
+    ag_hosts = [int(x) for x in args.ag_hosts.split(",") if x]
+    return full_sweep(bcast_hosts, ag_hosts)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,12 @@ scenarios that together cover the hot paths the fast-path PR optimizes:
 * ``lossy188``    Gilbert-Elliott lossy 188-node broadcast — exercises
                   the per-packet slow path + recovery machinery
 * ``fsdp``        3-layer FSDP backward pipeline (overlapping AG+RS)
+* ``bcast1024``   1024-host broadcast under the flow-level fast-forward
+                  engine (``fast_forward="exact"``) — the Tbit-scale
+                  configuration the packet-level engine cannot reach in CI
+* ``ag1024``      1024-rank chain-scheduled allgather under exact
+                  fast-forward — O(P^2) receiver folds; the scaling
+                  stress case for the fold commit path
 
 Virtual-time outputs (durations) and event counts are deterministic:
 any change to either is a *semantic* change, not noise, and fails the
@@ -70,65 +76,79 @@ def calibrate() -> float:
     return time.perf_counter() - t0
 
 
+def _result(wall: float, res) -> Dict[str, float]:
+    return {
+        "wall_s": wall,
+        "virtual_s": res.duration,
+        "events": res.engine["sim_events"],
+        "trains": res.engine["trains"],
+        "train_packets": res.engine["train_packets"],
+        "ff_phases": res.engine.get("ff_phases", 0),
+    }
+
+
 def _bcast(n_hosts: int, nbytes: int, chunk: int, coalescing: bool,
            batching: bool, fault_factory=None,
-           coarse: bool = True) -> Dict[str, float]:
+           coarse: bool = True, **cfg_kw) -> Dict[str, float]:
     fabric = make_fabric(n_hosts, mtu=chunk)
     fabric.set_coalescing(coalescing)
     if fault_factory is not None:
         fabric.set_fault_all(fault_factory)
-    cfg = (coarse_config(chunk, recv_batching=batching) if coarse
-           else CollectiveConfig(chunk_size=chunk, recv_batching=batching))
+    cfg = (coarse_config(chunk, recv_batching=batching, **cfg_kw) if coarse
+           else CollectiveConfig(chunk_size=chunk, recv_batching=batching,
+                                 **cfg_kw))
     comm = Communicator(fabric, config=cfg)
     data = (np.arange(nbytes, dtype=np.uint32) % 251).astype(np.uint8)
     t0 = time.perf_counter()
     res = comm.broadcast(0, data)
     wall = time.perf_counter() - t0
     assert res.verify_broadcast(data), "broadcast payload corrupted"
-    return {
-        "wall_s": wall,
-        "virtual_s": res.duration,
-        "events": res.engine["sim_events"],
-        "trains": res.engine["trains"],
-        "train_packets": res.engine["train_packets"],
-    }
+    return _result(wall, res)
 
 
-def scenario_ag16(coalescing: bool, batching: bool = True) -> Dict[str, float]:
+def _ff_kw(ff: str | None, default: str = "off") -> Dict[str, str]:
+    """Config override for a scenario's fast-forward mode.  ``ff`` is the
+    run-wide ``--ff`` override; ``default`` is the scenario's pinned mode."""
+    return {"fast_forward": default if ff is None else ff}
+
+
+def scenario_ag16(coalescing: bool, batching: bool = True,
+                  ff: str | None = None) -> Dict[str, float]:
     fabric = make_fabric(16, mtu=4096)
     fabric.set_coalescing(coalescing)
     comm = Communicator(fabric, config=CollectiveConfig(chunk_size=4096,
-                                                       recv_batching=batching))
+                                                       recv_batching=batching,
+                                                       **_ff_kw(ff)))
     data = [np.full(64 * KiB, r % 251, dtype=np.uint8) for r in range(16)]
     t0 = time.perf_counter()
     res = comm.allgather(data)
     wall = time.perf_counter() - t0
     assert res.verify_allgather(data), "allgather payload corrupted"
-    return {
-        "wall_s": wall,
-        "virtual_s": res.duration,
-        "events": res.engine["sim_events"],
-        "trains": res.engine["trains"],
-        "train_packets": res.engine["train_packets"],
-    }
+    return _result(wall, res)
 
 
-def scenario_bcast188(coalescing: bool, batching: bool = True) -> Dict[str, float]:
-    return _bcast(188, MiB, 64 * KiB, coalescing, batching)
+def scenario_bcast188(coalescing: bool, batching: bool = True,
+                      ff: str | None = None) -> Dict[str, float]:
+    return _bcast(188, MiB, 64 * KiB, coalescing, batching, **_ff_kw(ff))
 
 
-def scenario_bcast188hf(coalescing: bool, batching: bool = True) -> Dict[str, float]:
-    return _bcast(188, MiB, 4096, coalescing, batching, coarse=False)
+def scenario_bcast188hf(coalescing: bool, batching: bool = True,
+                        ff: str | None = None) -> Dict[str, float]:
+    return _bcast(188, MiB, 4096, coalescing, batching, coarse=False,
+                  **_ff_kw(ff))
 
 
-def scenario_lossy188(coalescing: bool, batching: bool = True) -> Dict[str, float]:
+def scenario_lossy188(coalescing: bool, batching: bool = True,
+                      ff: str | None = None) -> Dict[str, float]:
     ge = GilbertElliott(p_good_bad=0.01, p_bad_good=0.3,
                         drop_good=0.001, drop_bad=0.10)
     return _bcast(188, 256 * KiB, 64 * KiB, coalescing, batching,
-                  fault_factory=lambda s, d: FaultSpec(gilbert_elliott=ge))
+                  fault_factory=lambda s, d: FaultSpec(gilbert_elliott=ge),
+                  **_ff_kw(ff))
 
 
-def scenario_fsdp(coalescing: bool, batching: bool = True) -> Dict[str, float]:
+def scenario_fsdp(coalescing: bool, batching: bool = True,
+                  ff: str | None = None) -> Dict[str, float]:
     fabric = make_fabric(16, mtu=16 * KiB)
     fabric.set_coalescing(coalescing)
     sim = fabric.sim
@@ -136,7 +156,7 @@ def scenario_fsdp(coalescing: bool, batching: bool = True) -> Dict[str, float]:
     t0 = time.perf_counter()
     virtual = run_fsdp_backward_pipeline(
         fabric, "optimal", [64 * KiB, 64 * KiB, 32 * KiB],
-        config=coarse_config(16 * KiB, recv_batching=batching),
+        config=coarse_config(16 * KiB, recv_batching=batching, **_ff_kw(ff)),
     )
     wall = time.perf_counter() - t0
     return {
@@ -145,7 +165,37 @@ def scenario_fsdp(coalescing: bool, batching: bool = True) -> Dict[str, float]:
         "events": sim.events_processed - ev0,
         "trains": fabric.total_trains(),
         "train_packets": fabric.total_train_packets(),
+        "ff_phases": 0,
     }
+
+
+def scenario_bcast1024(coalescing: bool, batching: bool = True,
+                       ff: str | None = None) -> Dict[str, float]:
+    # Pinned to exact fast-forward: packet-level 1024-host runs belong to
+    # bench_ff_scaling.py, not the per-commit speedometer.
+    return _bcast(1024, 512 * KiB, 4096, coalescing, batching, coarse=False,
+                  transport="uc", **_ff_kw(ff, default="exact"))
+
+
+def scenario_ag1024(coalescing: bool, batching: bool = True,
+                    ff: str | None = None) -> Dict[str, float]:
+    fabric = make_fabric(1024, mtu=4096)
+    fabric.set_coalescing(coalescing)
+    # The chain-serialized 1024-step schedule outruns the adaptive cutoff's
+    # ``buffer/B + alpha`` deadline model (activation latency dominates at
+    # this scale), so the scenario pins a static cutoff wide enough that no
+    # spurious recovery fires — in either engine.
+    cfg = CollectiveConfig(chunk_size=KiB, transport="uc",
+                           recv_batching=batching,
+                           adaptive_cutoff=False, cutoff_alpha=10e-3,
+                           **_ff_kw(ff, default="exact"))
+    comm = Communicator(fabric, config=cfg)
+    data = [np.full(KiB, r % 251, dtype=np.uint8) for r in range(1024)]
+    t0 = time.perf_counter()
+    res = comm.allgather(data)
+    wall = time.perf_counter() - t0
+    assert res.verify_allgather(data), "allgather payload corrupted"
+    return _result(wall, res)
 
 
 SCENARIOS = {
@@ -154,26 +204,33 @@ SCENARIOS = {
     "bcast188hf": scenario_bcast188hf,
     "lossy188": scenario_lossy188,
     "fsdp": scenario_fsdp,
+    "bcast1024": scenario_bcast1024,
+    "ag1024": scenario_ag1024,
 }
 
 #: Scenarios whose wall-clock is event-loop dominated and therefore a
-#: meaningful simulator-speed signal.  ``bcast188`` (coarse) is excluded:
-#: its wall-clock is dominated by first-touch page faults on the ~GiB of
-#: per-rank staging/user buffers it allocates — a memory-subsystem
-#: measurement that swings far more than 25% between runs.  Its *event
-#: count and virtual time* are still gated exactly.
+#: meaningful simulator-speed signal.  ``bcast188`` (coarse) and
+#: ``bcast1024`` and ``ag1024`` are excluded: their wall-clock is
+#: dominated by first-touch page faults on the hundreds of MiB of
+#: per-rank staging/user buffers they allocate — a memory-subsystem
+#: measurement that swings 2x between runs.  Their *event count and
+#: virtual time* are still gated exactly; the CI wall budget for the
+#: 1024-host scale lives in ``bench_ff_scaling.py --smoke``.
 WALL_GATED = frozenset({"ag16", "bcast188hf", "lossy188", "fsdp"})
 
 
 def run_all(coalescing: bool, batching: bool = True,
-            profile_top: int = 0) -> Dict[str, object]:
+            profile_top: int = 0, ff: str | None = None,
+            skip: frozenset = frozenset()) -> Dict[str, object]:
     cal = calibrate()
     scenarios: Dict[str, Dict[str, float]] = {}
     for name, fn in SCENARIOS.items():
+        if name in skip:
+            continue
         if profile_top:
             prof = cProfile.Profile()
             prof.enable()
-        r = fn(coalescing, batching)
+        r = fn(coalescing, batching, ff)
         if profile_top:
             prof.disable()
             _print_hotspots(name, prof, profile_top)
@@ -183,6 +240,8 @@ def run_all(coalescing: bool, batching: bool = True,
     return {
         "coalescing": coalescing,
         "recv_batching": batching,
+        "fast_forward": ff,
+        "skipped": sorted(skip),
         "calibration_s": cal,
         "calibration_events": CALIBRATION_EVENTS,
         "scenarios": scenarios,
@@ -202,16 +261,21 @@ def check(results: Dict[str, object], baseline_path: str, tolerance: float) -> i
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     # When the run used a different fast-path configuration than the
-    # committed baseline (--per-packet / --per-cqe), event counts and
-    # wall-clock are not comparable — but virtual time still must match
-    # *exactly*: both fast paths are proven bit-equivalent to their slow
-    # paths, so this mode turns --check into an equivalence gate.
+    # committed baseline (--per-packet / --per-cqe / --ff), event counts
+    # and wall-clock are not comparable — but virtual time still must
+    # match *exactly*: the train, CQE-batch, and exact fast-forward
+    # engines are all proven bit-equivalent to the slow path, so this
+    # mode turns --check into an equivalence gate.
     same_config = (
         results.get("coalescing") == baseline.get("coalescing", True)
         and results.get("recv_batching") == baseline.get("recv_batching", True)
+        and results.get("fast_forward") == baseline.get("fast_forward")
     )
+    skipped = set(results.get("skipped", ()))
     failures = []
     for name, base in baseline["scenarios"].items():
+        if name in skipped:
+            continue
         cur = results["scenarios"].get(name)
         if cur is None:
             failures.append(f"{name}: missing from current run")
@@ -255,6 +319,13 @@ def main(argv=None) -> int:
                     help="disable the packet-train fast path")
     ap.add_argument("--per-cqe", action="store_true",
                     help="disable the receiver-batch fast path")
+    ap.add_argument("--ff", choices=("off", "exact", "banded"), default=None,
+                    help="override every scenario's fast-forward mode "
+                         "(default: each scenario's pinned mode); with "
+                         "--check this is the flow-level equivalence gate")
+    ap.add_argument("--skip", default="", metavar="NAMES",
+                    help="comma-separated scenarios to leave out (the "
+                         "check gate ignores their baseline entries)")
     ap.add_argument("--profile", type=int, default=0, metavar="N",
                     help="cProfile each scenario; print top-N hot spots "
                          "(self time and cumulative) to stderr")
@@ -264,9 +335,15 @@ def main(argv=None) -> int:
                     help="allowed normalized wall-clock growth (default 0.25)")
     args = ap.parse_args(argv)
 
+    skip = frozenset(n for n in args.skip.split(",") if n)
+    unknown = skip - set(SCENARIOS)
+    if unknown:
+        ap.error(f"unknown scenario(s) in --skip: {', '.join(sorted(unknown))}")
+
     results = run_all(coalescing=not args.per_packet,
                       batching=not args.per_cqe,
-                      profile_top=args.profile)
+                      profile_top=args.profile,
+                      ff=args.ff, skip=skip)
 
     if args.check:
         return check(results, args.check, args.tolerance)
@@ -290,7 +367,8 @@ def main(argv=None) -> int:
     print(f"calibration: {results['calibration_s']:.3f}s "
           f"for {CALIBRATION_EVENTS:,} events "
           f"(coalescing={'on' if results['coalescing'] else 'off'}, "
-          f"recv_batching={'on' if results['recv_batching'] else 'off'})")
+          f"recv_batching={'on' if results['recv_batching'] else 'off'}, "
+          f"ff={results['fast_forward'] or 'per-scenario'})")
     print(format_table(
         ("scenario", "wall s", "virt us", "events", "ev/s", "norm", "trains"),
         rows,

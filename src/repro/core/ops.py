@@ -77,6 +77,10 @@ class OpState:
     #: set by :meth:`abandon`: the op was torn down (its rank died or the
     #: collective aborted) and its phase record is not meaningful
     aborted: bool = field(init=False, default=False)
+    #: completion holds taken by the flow-level fast-forward layer: a fold
+    #: commits its bitmap bits eagerly but the phase only *ends* at the
+    #: fold's finisher event, so ``data_done`` must not fire in between
+    ff_hold: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         n = self.plan.n_chunks
@@ -147,6 +151,8 @@ class OpState:
         """Trigger ``data_done`` once every chunk is present *and* every
         staging copy has drained."""
         self.sim.progress += 1
+        if self.ff_hold:
+            return
         if (
             not self.data_done.triggered
             and self.bitmap.count == self.n_chunks

@@ -119,6 +119,11 @@ class RankEngine:
         #: receiver-batch telemetry, summed into CollectiveResult.engine
         self.cqe_batches = 0
         self.batched_cqes = 0
+        #: flow fast-forward: the folded receive-worker cursor.  A fold
+        #: advances this rank's datapath without waking its workers; a
+        #: worker that wakes for post-fold traffic must not anchor its
+        #: cost chain before this instant (it was "busy" inside the fold).
+        self.ff_resume_floor = 0.0
         self._recv_procs: Dict[int, object] = {}
         n_workers = cfg.recv_workers or cfg.n_subgroups
         mapping = [
@@ -225,6 +230,11 @@ class RankEngine:
                 for qp in qps:
                     qp.recv_cq.set_notify(wake)
                 yield PASSIVE_WAIT
+                if self.ff_resume_floor > self.sim.now:
+                    # A flow-level fold advanced this worker's datapath
+                    # past `now` without waking it; anchor post-fold CQE
+                    # processing where the packet-level chain would have.
+                    yield self.sim.wake_at(self.ff_resume_floor)
             for sg, qp in zip(subgroups, qps):
                 cqes = qp.recv_cq.poll()
                 start = 0
@@ -1057,7 +1067,19 @@ class RankEngine:
                     )
                 else:
                     yield self.ctrl.recv(MSG_ACTIVATE, op.coll_id, activation_pred)
-            yield from self.run_send(op)
+            # Flow-level fast-forward: when the whole multicast phase is
+            # provably fault-inert, fold it analytically (sender batching,
+            # tree busy chains, receiver datapaths) and jump straight to
+            # the send-done instant.  Any gate failure falls back to the
+            # packet-level path below with no state committed.
+            ff = self.comm.ff
+            ff_done = (
+                ff.try_advance(self, op, participants) if ff is not None else None
+            )
+            if ff_done is None:
+                yield from self.run_send(op)
+            elif ff_done > self.sim.now:
+                yield self.sim.wake_at(ff_done)
             op.mark_phase("send_done")
             if activation_succ is not None:
                 if trc is not None:

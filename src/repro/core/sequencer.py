@@ -18,7 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-__all__ = ["BroadcastSequencer"]
+__all__ = ["BroadcastSequencer", "effective_chains"]
+
+
+def effective_chains(n_ranks: int, n_chains: int) -> int:
+    """The chain count the Allgather scheduler actually runs with.
+
+    The communicator falls back to a single chain when ``M`` does not
+    divide ``P`` (rather than rejecting the collective).  The flow-level
+    fast-forward layer keys an eligibility gate on this same arithmetic:
+    only a single-chain schedule has at most one active root, which is
+    what makes a phase's tree traffic contention-free and foldable.
+    """
+    return n_chains if n_ranks % n_chains == 0 else 1
 
 
 @dataclass(frozen=True)

@@ -106,6 +106,10 @@ class Fabric:
         self.dead_hosts: Set[int] = set()
         self.dead_switches: Set[str] = set()
         self.dead_links: Set[Tuple[str, str]] = set()
+        #: crash specs armed but not yet executed — the flow fast-forward
+        #: layer refuses to fold while any fail-stop is pending, since a
+        #: crash landing mid-fold would invalidate the analytic advance
+        self.pending_crashes: Set[CrashSpec] = set()
         self._crash_listeners: list = []
         #: delay between a switch/link hard-down and the subnet manager's
         #: automatic re-sweep (reroute + multicast tree rebuild).  Host
@@ -261,6 +265,7 @@ class Fabric:
             a, b = spec.link  # type: ignore[misc]
             if (a, b) not in self.channels and (b, a) not in self.channels:
                 raise ValueError(f"no link between {a!r} and {b!r}")
+        self.pending_crashes.add(spec)
         self.sim.post_at(spec.at, self._execute_crash, spec)
 
     def _resolve_host(self, host) -> int:
@@ -272,6 +277,7 @@ class Fabric:
         return h
 
     def _execute_crash(self, spec: CrashSpec) -> None:
+        self.pending_crashes.discard(spec)
         if spec.host is not None:
             self.crash_host(self._resolve_host(spec.host))
         elif spec.switch is not None:

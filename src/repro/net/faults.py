@@ -38,6 +38,7 @@ __all__ = [
     "StragglerSpec",
     "CrashSpec",
     "normalize_windows",
+    "windows_inert_after",
 ]
 
 
@@ -148,6 +149,14 @@ def normalize_windows(windows: Iterable) -> Tuple[Window, ...]:
                 "overlap; merge them or make them disjoint"
             )
     return tuple(out)
+
+
+def windows_inert_after(windows: Iterable[Window], t: float) -> bool:
+    """True when every window has fully elapsed by virtual time ``t`` —
+    no sample at or after ``t`` can land inside one, so a timing model
+    (train coalescing, flow-level fast-forward) that evaluates the whole
+    future transfer at nominal rates is exact."""
+    return all(w.end <= t for w in windows)
 
 
 @dataclass(frozen=True)

@@ -279,22 +279,20 @@ class Channel:
 
     # ------------------------------------------------------------ fast path
 
-    def _train_inert(self) -> bool:
-        """True when the fault state cannot influence any packet from now
-        on: no drop machinery, no jitter, and no flap/bandwidth window
-        that is active now or scheduled for the future.  Only then may a
-        train be coalesced — any live fault schedule forces the exact
-        per-packet slow path."""
+    def _timing_inert(self) -> bool:
+        """True when the fault state cannot perturb any packet's *timing*
+        from now on: no reordering jitter, and no flap/bandwidth window
+        that is active now or scheduled for the future.  This is the
+        coalescing eligibility gate: a train's busy-chain walk evaluates
+        every packet's serialization at the nominal bandwidth and in FIFO
+        order, which is exact iff timing faults are quiescent.  *Drop*
+        machinery does not break the walk — drops are evaluated inside it
+        (see :meth:`transmit_train`) with the identical RNG consumption
+        order, so lossy channels still coalesce between loss decisions."""
         f = self.fault
         if f is None:
             return True
-        if (
-            f.drop_prob > 0.0
-            or f.drop_packet_seqs
-            or f.drop_predicate is not None
-            or f.gilbert_elliott is not None
-            or f.reorder_jitter > 0.0
-        ):
+        if f.reorder_jitter > 0.0:
             return False
         now = self.sim.now
         for w in f.flap_windows:
@@ -305,16 +303,47 @@ class Channel:
                 return False
         return True
 
+    def _drop_inert(self) -> bool:
+        """True when no drop machinery is armed: every packet transmitted
+        from now on is delivered (flap outages are covered by
+        :meth:`_timing_inert`, which only passes once all windows have
+        elapsed)."""
+        f = self.fault
+        if f is None:
+            return True
+        return not (
+            f.drop_prob > 0.0
+            or f.drop_packet_seqs
+            or f.drop_predicate is not None
+            or f.gilbert_elliott is not None
+        )
+
+    def _train_inert(self) -> bool:
+        """Fully inert: neither timing nor loss faults can touch a packet
+        from now on (the flow-level fast-forward eligibility predicate)."""
+        return self._timing_inert() and self._drop_inert()
+
+    def fault_inert(self) -> bool:
+        """Public inertness probe for analytic layers (flow fast-forward):
+        the channel is up and provably cannot drop, delay, or reorder any
+        future packet."""
+        return not self.down and self._train_inert()
+
     def transmit_train(self, packets: Sequence[Packet], injections: Optional[Sequence[float]] = None):
         """Transmit a back-to-back run of same-flow packets.
 
-        When the channel is fault-free (see :meth:`_train_inert`) the whole
-        run is serialized with one ``busy_until`` walk and delivered as a
-        single :class:`PacketTrain` arrival event; byte/packet counters and
-        every per-packet serialization/arrival instant are computed with
-        the same float arithmetic as :meth:`transmit`, so virtual-time
-        results are bit-identical.  Otherwise each packet goes through the
-        per-packet slow path at its injection instant.
+        When the channel's *timing* faults are quiescent (see
+        :meth:`_timing_inert`) the whole run is serialized with one
+        ``busy_until`` walk; byte/packet counters and every per-packet
+        serialization/arrival instant are computed with the same float
+        arithmetic as :meth:`transmit`, so virtual-time results are
+        bit-identical.  Drop machinery (Bernoulli, Gilbert–Elliott,
+        deterministic seqs, predicates) does not force the slow path: each
+        packet's drop decision is evaluated inside the walk in transmit
+        order — the identical RNG consumption order — and the surviving
+        packets are delivered as one :class:`PacketTrain` (or per-packet
+        when fewer than two survive).  Only timing faults (jitter, live
+        flap/bandwidth windows) defer to the per-packet slow path.
 
         ``injections`` gives per-packet transmit-start instants (a switch
         relaying a train injects each packet as it arrives); ``None`` means
@@ -334,7 +363,7 @@ class Channel:
         eligible = (
             self.coalescing
             and n > 1
-            and self._train_inert()
+            and self._timing_inert()
             and all(p.wire_bytes > self.ctrl_bypass_bytes for p in packets)
         )
         if not eligible:
@@ -357,49 +386,56 @@ class Channel:
         latency = self.latency
         prev = self.busy_until
         finishes = []
-        arrivals = []
+        survivors = []
+        surv_arrivals = []
         bytes_sum = 0
         payload_sum = 0
+        fault = self.fault
+        trc = self.trace
         first_inj = now if injections is None else injections[0]
         first_start = first_inj if first_inj > prev else prev
-        if injections is None:
-            for p in packets:
-                start = now if now > prev else prev
-                prev = start + p.wire_bytes / bandwidth
-                finishes.append(prev)
-                arrivals.append(prev + latency)
-                bytes_sum += p.wire_bytes
-                payload_sum += p.payload_len
-        else:
-            for p, inj in zip(packets, injections):
-                start = inj if inj > prev else prev
-                prev = start + p.wire_bytes / bandwidth
-                finishes.append(prev)
-                arrivals.append(prev + latency)
-                bytes_sum += p.wire_bytes
-                payload_sum += p.payload_len
+        for i, p in enumerate(packets):
+            inj = now if injections is None else injections[i]
+            start = inj if inj > prev else prev
+            prev = start + p.wire_bytes / bandwidth
+            finishes.append(prev)
+            bytes_sum += p.wire_bytes
+            payload_sum += p.payload_len
+            if fault is not None and fault.affects(p):
+                # Same droppable index and RNG consumption order as the
+                # per-packet path.  A dropped packet still burned its wire
+                # time above; it just never arrives.
+                seq = self._droppable_seq
+                self._droppable_seq += 1
+                if self._should_drop(p, seq):
+                    self.bytes_dropped += p.wire_bytes
+                    self.packets_dropped += 1
+                    if trc is not None:
+                        trc.instant("link.drop", prev)
+                    continue
+            survivors.append(p)
+            surv_arrivals.append(prev + latency)
         self.busy_until = prev
         self.bytes_sent += bytes_sum
         self.payload_bytes_sent += payload_sum
         self.packets_sent += n
-        self.trains_sent += 1
-        self.train_packets += n
-        trc = self.trace
         if trc is not None:
-            # One merged busy interval for the whole run, plus the
-            # coalescing marker itself.
+            # One merged busy interval for the whole run.
             trc.complete("link.busy", first_start, prev - first_start)
-            trc.instant("link.train", first_start, {"pkts": n})
-        fault = self.fault
-        if fault is not None:
-            # Keep the droppable-packet index in lockstep with what the
-            # per-packet path would have counted (the spec is inert, so no
-            # RNG is consumed either way).
-            for p in packets:
-                if fault.affects(p):
-                    self._droppable_seq += 1
-        train = PacketTrain(list(packets), arrivals)
-        self.sim.post_at(arrivals[0], self.dst_node.receive_train, train, self)
+        if len(survivors) >= 2:
+            self.trains_sent += 1
+            self.train_packets += len(survivors)
+            if trc is not None:
+                trc.instant("link.train", first_start, {"pkts": len(survivors)})
+            train = PacketTrain(survivors, surv_arrivals)
+            self.sim.post_at(
+                surv_arrivals[0], self.dst_node.receive_train, train, self
+            )
+        elif survivors:
+            # A run gutted down to one survivor is just a packet.
+            self.sim.post_at(
+                surv_arrivals[0], self.dst_node.receive, survivors[0], self
+            )
         return finishes
 
     def _should_drop(self, packet: Packet, seq: int) -> bool:

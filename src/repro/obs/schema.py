@@ -62,6 +62,10 @@ TRACEPOINTS: Dict[str, Any] = {
     "repair.replan": ("i", "membership/topology re-planned around a death"),
     "repair.void": ("i", "chunks voided as unrecoverable (args: chunks)"),
     "engine.watchdog": ("i", "simulator no-progress watchdog fired"),
+    "engine.ff_enter": ("i", "flow fast-forward fold began "
+                             "(args: chunks, mode)"),
+    "engine.ff_exit": ("i", "flow fast-forward fold committed "
+                            "(args: until, send_done)"),
     # -- DPA scheduler ----------------------------------------------------
     "dpa.compute": ("X", "DPA thread occupies a core pipe for a segment"),
 }

@@ -1,0 +1,628 @@
+"""Flow-level fast-forward: analytic advance of fault-inert collective phases.
+
+The packet-train and CQE-train fast paths coalesce *homogeneous runs* of
+work into single events; this layer generalizes the idea to a whole
+multicast phase.  When a sender's bulk transfer is provably fault-inert —
+no drop machinery armed on any tree channel, no straggler window, no
+pending crash, no concurrent collective that could contend — the entire
+phase (send batching, per-link busy chains, switch relays, receive-worker
+processing, staging DMA drain) is folded arithmetically and committed as
+O(links) state mutations plus one "finisher" event per receiver, instead
+of O(packets) simulated events.
+
+Exactness contract (``fast_forward="exact"``)
+---------------------------------------------
+The fold replicates the **slow-path** float arithmetic expression by
+expression — ``max`` written as the same branch shapes, costs summed in
+the same order — so every committed instant (channel ``busy_until``, DMA
+watermarks, CQE anchors, ``data_done``) is bit-identical to the
+packet-level engine.  The train/CQE fast paths are themselves bit
+identical to the slow paths (CI gates ``--per-packet`` / ``--per-cqe``),
+so matching the slow path matches every engine mode.  Event counts and
+receiver-batch telemetry (``cqe_batches`` / ``batched_cqes``) necessarily
+*drop* under fast-forward — that is the point — so equivalence checks
+compare virtual time, counters and payload digests, never event counts.
+
+Banded mode (``fast_forward="banded"``)
+---------------------------------------
+Same gates, same committed byte/packet counters and payloads, but the
+per-edge busy chains are collapsed to closed forms over uniform arrival
+streams (O(1) per edge instead of O(chunks)): completion instants may
+deviate by up to the declared ±0.5% virtual-time tolerance
+(:data:`BANDED_TOLERANCE`).  This is what makes 1024–4096-host sweeps
+tractable.
+
+Eligibility gates (any failure falls back to packet level, permanently
+for the rest of that collective so cursors stay exact):
+
+* knob on, transport UD or UC, single subgroup, chunk fits one segment;
+* exactly one active collective on the communicator;
+* no dead ranks/hosts/switches/links and no pending crash schedule
+  (:attr:`Fabric.pending_crashes`);
+* allgather only with an effective single chain (the sequencer's own
+  ``n_chains`` fallback arithmetic) and strictly non-interleaved arrivals
+  per receiver;
+* every tree channel up and :meth:`Channel.fault_inert`, and every data
+  packet too large for the control bypass lane;
+* every receiver straggler-inert over the folded window, with enough
+  posted receive WRs for the whole fold (no RNR possible);
+* no recovery ran on any participant, and the folded phase completes
+  strictly before every armed (or arming) cutoff deadline — so no
+  recovery or fetch can observe the eagerly-committed bitmap bits.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.sequencer import effective_chains
+from repro.net.nic import RecvWR
+from repro.net.topology import host_id, is_host
+from repro.sim.engine import _Callback
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.communicator import Communicator
+    from repro.core.ops import OpState
+    from repro.core.progress import RankEngine
+
+__all__ = ["FlowFastForward", "BANDED_TOLERANCE"]
+
+#: declared virtual-time tolerance of ``fast_forward="banded"`` (relative)
+BANDED_TOLERANCE = 5e-3
+
+_INF = float("inf")
+
+
+class _RxSession:
+    """Per-receiver cross-fold cursor state (one per rank per collective)."""
+
+    __slots__ = ("cursor", "last_arrival")
+
+    def __init__(self) -> None:
+        #: receive-worker virtual-time cursor after the last committed fold
+        self.cursor = 0.0
+        #: last folded packet-arrival instant (non-interleave gate)
+        self.last_arrival = -_INF
+
+
+class _Session:
+    """Per-collective fast-forward state.
+
+    ``poisoned`` latches on the first abort: once any phase of a
+    collective ran at packet level, every later phase must too — the
+    analytic worker cursors would otherwise drift from the real ones.
+    """
+
+    __slots__ = ("poisoned", "rx")
+
+    def __init__(self) -> None:
+        self.poisoned = False
+        self.rx: Dict[int, _RxSession] = {}
+
+
+class FlowFastForward:
+    """Phase analyzer + analytic advancer for one communicator."""
+
+    def __init__(self, comm: "Communicator") -> None:
+        self.comm = comm
+        self.sim = comm.sim
+        self.mode = comm.config.fast_forward  # 'exact' | 'banded'
+        # --- telemetry (summed into CollectiveResult.engine) ---
+        self.ff_phases = 0  #: phases folded analytically
+        self.ff_skipped_events = 0  #: estimated packet-level events avoided
+        self.ff_aborts = 0  #: eligibility-gate bailouts (fell back)
+        self._sessions: Dict[int, _Session] = {}
+
+    # ------------------------------------------------------------ entry point
+
+    def try_advance(self, engine: "RankEngine", op: "OpState",
+                    participants: List[int]) -> Optional[float]:
+        """Attempt to fold *op*'s multicast phase from ``engine`` (the
+        sender).  Returns the sender's ``run_send`` completion instant on
+        success (all state committed), or ``None`` to fall back to the
+        packet-level path."""
+        sess = self._session(op.coll_id)
+        done = self._attempt(engine, op, participants, sess)
+        if done is None:
+            self.ff_aborts += 1
+            sess.poisoned = True
+        return done
+
+    def _session(self, coll_id: int) -> _Session:
+        sess = self._sessions.get(coll_id)
+        if sess is None:
+            # Coll-ids grow monotonically; prune finished collectives.
+            active = self.comm._active
+            for cid in [c for c in self._sessions if c not in active]:
+                del self._sessions[cid]
+            sess = self._sessions[coll_id] = _Session()
+        return sess
+
+    # ------------------------------------------------------------------ gates
+
+    def _attempt(self, engine: "RankEngine", op: "OpState",
+                 participants: List[int], sess: _Session) -> Optional[float]:
+        comm = self.comm
+        cfg = comm.config
+        fabric = comm.fabric
+        sim = self.sim
+
+        if sess.poisoned:
+            return None
+        if cfg.n_subgroups != 1 or cfg.transport not in ("ud", "uc"):
+            return None
+        if len(comm._active) != 1 or op.coll_id not in comm._active:
+            return None
+        if len(participants) < 2 or comm.size < 2:
+            return None
+        n_chunks = op.send_hi - op.send_lo
+        if n_chunks <= 0:
+            return None
+        # One wire segment per chunk (the UC builder fragments at the MTU).
+        if op.plan.chunk_size > fabric.mtu:
+            return None
+        if op.kind == "allgather":
+            # The sequencer's own fallback arithmetic: concurrent chains
+            # would contend on shared tree links, which the fold cannot
+            # serialize correctly.
+            if effective_chains(len(participants), cfg.n_chains) != 1:
+                return None
+        if (comm.dead_ranks or fabric.dead_hosts or fabric.dead_switches
+                or fabric.dead_links or fabric.pending_crashes):
+            return None
+        if op.aborted or op.dead_ranks:
+            return None
+        engines = comm.engines
+        cid = op.coll_id
+        for r in participants:
+            op_r = engines[r].ops.get(cid)
+            if op_r is None or op_r.aborted or op_r.stats["recoveries"]:
+                return None
+
+        uc = cfg.transport == "uc"
+        plan = op.plan
+        header = engine.nic.header_bytes
+        lens = [plan.bounds(psn)[1] for psn in range(op.send_lo, op.send_hi)]
+        wires = [ln + header for ln in lens]
+        gid = comm.mcast_gids[0]
+
+        # --- sender fold: doorbell batching + egress busy chain -----------
+        sender_fold = self._fold_sender(engine, op, wires)
+        if sender_fold is None:
+            return None
+        send_done, egress_finishes, batch_sizes, n_batches = sender_fold
+        egress = engine.nic.egress
+
+        # --- tree walk: per-edge busy chains to every receiver ------------
+        walk = self._walk(engine, gid, egress, egress_finishes,
+                          wires, batch_sizes)
+        if walk is None:
+            return None
+        chans, arrivals_by_host, switch_counts = walk
+
+        # Receivers must be exactly the non-sender participants.
+        rx_ranks: Dict[int, int] = {}
+        for r in participants:
+            if r != engine.rank:
+                rx_ranks[comm.host_of(r)] = r
+        if set(arrivals_by_host) != set(rx_ranks):
+            return None
+
+        # --- receiver folds: worker chain + staging DMA drain -------------
+        t_hook = sim.now
+        rx_folds = []
+        fin_max = send_done
+        for host, arrivals in arrivals_by_host.items():
+            rank = rx_ranks[host]
+            fold = self._fold_receiver(engines[rank], engines[rank].ops[cid],
+                                       arrivals, lens, uc, sess, t_hook)
+            if fold is None:
+                return None
+            rx_folds.append(fold)
+            if fold[4] > fin_max:
+                fin_max = fold[4]
+
+        # --- global deadline gate: the fold must land before any armed
+        # (or arming) cutoff can fire, so recovery/fetch never observes the
+        # eagerly committed bitmap bits. ----------------------------------
+        if not self._deadlines_clear(participants, cid, t_hook, fin_max):
+            return None
+
+        # --------------------------------------------------------- commit
+        self._commit(engine, op, sess, chans, switch_counts, rx_folds,
+                     lens, n_chunks, n_batches, send_done, fin_max, uc)
+        return send_done
+
+    # ---------------------------------------------------------- sender fold
+
+    def _fold_sender(self, engine: "RankEngine", op: "OpState",
+                     wires: List[int]):
+        """Replicate ``run_send`` + the egress burst: per-batch doorbell
+        cost, one busy-chain walk per batch, one signaled CQE per batch
+        pushed at its last serialization finish, bounded outstanding
+        batches replayed against the push instants."""
+        cfg = engine.config
+        cost = engine.cost
+        egress = engine.nic.egress
+        if egress is None or egress.down or not egress.fault_inert():
+            return None
+        bypass = egress.ctrl_bypass_bytes
+        if min(wires) <= bypass:
+            return None
+        if len(engine.send_cq):  # stale completions would skew the replay
+            return None
+        bw = egress.bandwidth
+        prev = egress.busy_until
+        t = self.sim.now
+        finishes: List[float] = []
+        batch_sizes: List[int] = []
+        pending: List[float] = []  # signaled-CQE push instants, increasing
+        p_lo = 0  # drained prefix of `pending`
+        outstanding = 0
+        n = len(wires)
+        max_out = cfg.max_outstanding_batches
+        for i in range(0, n, cfg.batch_size):
+            batch = wires[i:i + cfg.batch_size]
+            batch_sizes.append(len(batch))
+            t = t + cost.send_batch(len(batch))
+            for w in batch:
+                start = t if t > prev else prev
+                prev = start + w / bw
+                finishes.append(prev)
+            pending.append(prev)
+            outstanding += 1
+            while outstanding >= max_out:
+                t, k, p_lo = _drain_cq(pending, p_lo, t)
+                outstanding -= k
+        while outstanding > 0:
+            t, k, p_lo = _drain_cq(pending, p_lo, t)
+            outstanding -= k
+        return t, finishes, batch_sizes, len(batch_sizes)
+
+    # ------------------------------------------------------------- tree walk
+
+    def _walk(self, engine: "RankEngine", gid: int, egress, egress_finishes,
+              wires: List[int], batch_sizes: List[int]):
+        """Advance every tree channel's busy chain and collect per-receiver
+        arrival instants.
+
+        Returns ``(chans, arrivals_by_host, switch_counts)`` where
+        ``chans`` carries per-channel commit records.  ``None`` on any
+        gate failure (downed/faulty channel, missing multicast route,
+        unexpected receiver).
+        """
+        fabric = engine.fabric
+        banded = self.mode == "banded"
+        n = len(wires)
+        min_wire = min(wires)
+        # Per-chunk train membership: a batch rides the wire as one train
+        # iff it has >= 2 packets and every channel from the root down had
+        # coalescing enabled (a per-packet hop breaks the train for all
+        # downstream hops).  When no batch can train (all singletons) the
+        # flag lists are elided entirely — the single-chunk-per-phase
+        # Allgather schedule hits this walk O(P) times per collective.
+        base_flags = [sz >= 2 for sz in batch_sizes]
+        has_trains = True in base_flags
+        arrivals0 = [f + egress.latency for f in egress_finishes]
+        chans: List[tuple] = []
+        arrivals_by_host: Dict[int, List[float]] = {}
+        switch_counts: Dict[object, int] = {}
+        bytes_sum = sum(wires)
+        payload_sum = bytes_sum - n * engine.nic.header_bytes
+
+        if has_trains:
+            eg_flags = [f and egress.coalescing for f in base_flags]
+            eg_trains, eg_tp = _count_trains(eg_flags, batch_sizes)
+        else:
+            eg_flags = None
+            eg_trains = eg_tp = 0
+        chans.append((egress, egress.busy_until
+                      if not egress_finishes else egress_finishes[-1],
+                      n, bytes_sum, payload_sum, eg_trains, eg_tp))
+        stack: List[Tuple[str, str, List[float], Optional[List[bool]]]] = [
+            (egress.dst_name, egress.src_name, arrivals0, eg_flags)
+        ]
+        while stack:
+            name, in_port, arr, flags = stack.pop()
+            if is_host(name):
+                h = host_id(name)
+                if h in arrivals_by_host:
+                    return None  # tree delivered twice: not a tree
+                arrivals_by_host[h] = arr
+                continue
+            sw = fabric.switches.get(name)
+            if sw is None or sw.dead:
+                return None
+            tree_ports = sw.mcast_table.get(gid)
+            if tree_ports is None:
+                return None
+            d = sw.forwarding_delay
+            inj = [a + d for a in arr] if d > 0.0 else arr
+            for neighbor in sorted(tree_ports):
+                if neighbor == in_port:
+                    continue
+                ch = sw.ports.get(neighbor)
+                if ch is None or ch.down or not ch.fault_inert():
+                    return None
+                if min_wire <= ch.ctrl_bypass_bytes:
+                    return None
+                bw = ch.bandwidth
+                lat = ch.latency
+                prev = ch.busy_until
+                if n == 1:
+                    t_inj = inj[0]
+                    start = t_inj if t_inj > prev else prev
+                    prev = start + wires[0] / bw
+                    outs_lat = [prev + lat]
+                elif banded:
+                    # Closed-form uniform-stream fold: O(1) per edge.
+                    first_in, last_in = inj[0], inj[-1]
+                    start0 = first_in if first_in > prev else prev
+                    out_first = start0 + wires[0] / bw
+                    serial = bytes_sum / bw
+                    tail = last_in + wires[-1] / bw
+                    queued = start0 + serial
+                    out_last = tail if tail > queued else queued
+                    step = (out_last - out_first) / (n - 1)
+                    outs_lat = [out_first + i * step + lat for i in range(n)]
+                    outs_lat[-1] = out_last + lat
+                    prev = out_last
+                else:
+                    outs_lat = []
+                    for i, t_inj in enumerate(inj):
+                        start = t_inj if t_inj > prev else prev
+                        prev = start + wires[i] / bw
+                        outs_lat.append(prev + lat)
+                if flags is not None:
+                    ch_flags = [f and ch.coalescing for f in flags]
+                    trains, tp = _count_trains(ch_flags, batch_sizes)
+                else:
+                    ch_flags = None
+                    trains = tp = 0
+                chans.append((ch, prev, n, bytes_sum, payload_sum,
+                              trains, tp))
+                switch_counts[sw] = switch_counts.get(sw, 0) + n
+                stack.append((ch.dst_name, name, outs_lat, ch_flags))
+        return chans, arrivals_by_host, switch_counts
+
+    # --------------------------------------------------------- receiver fold
+
+    def _fold_receiver(self, rx_engine: "RankEngine", op_r: "OpState",
+                       arrivals: List[float], lens: List[int], uc: bool,
+                       sess: _Session, t_hook: float):
+        """Replicate the receive worker's per-CQE slow path and (UD) the
+        staging DMA drain for one receiver over this fold's arrivals.
+
+        Returns a flat tuple (not a dict): the Allgather chain schedule
+        runs this O(P) times per phase, O(P^2) per collective, so the
+        per-receiver constant is the scaling bottleneck.
+        """
+        qp = rx_engine.sub_qps[0]
+        n = len(arrivals)
+        # No-RNR gate: the NIC consumes one posted WR per arrival, and the
+        # fold's own reposts all land after its last arrival — so the
+        # currently posted depth alone must cover the fold.
+        if n > len(qp.recv_queue):
+            return None
+        rx = sess.rx.get(rx_engine.rank)
+        if rx is None:
+            rx = sess.rx[rx_engine.rank] = _RxSession()
+        # Strict non-interleave: FIFO busy chains guarantee later folds
+        # arrive strictly after earlier ones; a tie means contention the
+        # fold ordering cannot resolve.
+        if arrivals[0] <= rx.last_arrival:
+            return None
+        cost = rx_engine.cost
+        c1 = cost.cqe_poll + cost.cqe_process
+        t = rx.cursor
+        dma = rx_engine.dma
+        dma_busy = dma.busy_until
+        if uc:
+            c2 = cost.recv_repost
+            for a in arrivals:
+                anchor = a if a > t else t
+                t = (anchor + (c1 + 0.0))
+                t = t + c2
+            fin = t
+        else:
+            dma_bw = dma.bandwidth
+            dma_lat = dma.latency
+            c2 = cost.copy_issue + cost.recv_repost
+            for a, ln in zip(arrivals, lens):
+                anchor = a if a > t else t
+                t = (anchor + (c1 + 0.0))
+                t = t + c2
+                start = t if t > dma_busy else dma_busy
+                dma_busy = start + ln / dma_bw
+            fin = dma_busy + dma_lat
+        # Straggler veto over the whole folded window (every CQE-poll
+        # stall sample in [t_hook, fin] must be zero).
+        if not rx_engine.fabric.straggler_inert(rx_engine.nic.host,
+                                                t_hook, fin):
+            return None
+        return (rx_engine, op_r, qp, rx, fin, t, dma_busy, arrivals[-1])
+
+    def _deadlines_clear(self, participants: List[int], cid: int,
+                         t_hook: float, fin_max: float) -> bool:
+        comm = self.comm
+        cfg = comm.config
+        for r in participants:
+            eng = comm.engines[r]
+            op_r = eng.ops[cid]
+            if op_r.data_done.triggered:
+                continue
+            if op_r.cutoff_deadline < _INF:
+                deadline = op_r.cutoff_deadline
+                if deadline <= t_hook:
+                    return False
+            else:
+                # Not yet armed: it will arm at >= t_hook with at least
+                # this expected + slack allowance (the controller's own
+                # formula), so this is a conservative lower bound.
+                n_workers = max(cfg.recv_workers or cfg.n_subgroups, 1)
+                sw_rate = (
+                    eng.cost.recv_rate(cfg.chunk_size,
+                                       uc=cfg.transport == "uc") * n_workers
+                    if eng.cost.per_recv_chunk > 0
+                    else _INF
+                )
+                recv_rate = min(eng.fabric.link_bandwidth, sw_rate)
+                expected = op_r.plan.buffer_len / recv_rate
+                slack = (eng.cutoff.slack() if cfg.adaptive_cutoff
+                         else cfg.cutoff_alpha)
+                deadline = t_hook + expected + slack
+            if fin_max >= deadline:
+                return False
+        return True
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self, engine, op, sess, chans, switch_counts, rx_folds,
+                lens, n_chunks, n_batches, send_done, fin_max, uc):
+        sim = self.sim
+        trc = engine.trace
+        t_hook = sim.now
+        if trc is not None:
+            trc.instant("engine.ff_enter", t_hook,
+                        {"chunks": n_chunks, "mode": self.mode})
+        # --- channel + switch counters, busy watermarks -------------------
+        for ch, busy, packets, ch_bytes, payload, trains, train_pkts in chans:
+            ch.busy_until = busy
+            ch.bytes_sent += ch_bytes
+            ch.payload_bytes_sent += payload
+            ch.packets_sent += packets
+            ch.trains_sent += trains
+            ch.train_packets += train_pkts
+            if ch.fault is not None:
+                # Data packets are always fault-affected kinds; keep the
+                # droppable index in lockstep (the spec is inert, so no
+                # RNG would have been consumed either way).
+                ch._droppable_seq += packets
+        for sw, count in switch_counts.items():
+            sw.packets_forwarded += count
+        # --- sender-side NIC/CQ state -------------------------------------
+        engine.send_cq.total_pushed += n_batches
+        # --- per-receiver state -------------------------------------------
+        lo_off, ln0 = op.plan.bounds(op.send_lo)
+        hi_off = op.plan.bounds(op.send_hi - 1)
+        src = op.mr.buf[lo_off:hi_off[0] + hi_off[1]]
+        payload_total = int(src.nbytes)
+        lens_total = sum(lens)
+        psn_lo = op.send_lo
+        single = n_chunks == 1
+        finish = self._finish_fold
+        # Finisher scheduling bypasses ``Simulator.post_at``: the Allgather
+        # chain posts one finisher per receiver per phase (O(P^2) over the
+        # collective), and every ``fin`` is provably >= now, so the method
+        # call + past-check overhead is pure constant-factor loss at scale.
+        queue = sim._queue
+        seq = sim._seq
+        for rx_engine, op_r, qp, rx, fin, cursor, dma_busy, last_a in rx_folds:
+            nic = rx_engine.nic
+            nic.packets_received += n_chunks
+            nic.bytes_received += payload_total
+            qp.recv_cq.total_pushed += n_chunks
+            # The NIC consumed one posted WR per arrival; the worker (UD:
+            # the DMA-drain callback) re-posts each at its done instant.
+            rq = qp.recv_queue
+            if single:
+                popped = rq.popleft()
+                if uc:
+                    # UC recv WRs are zero-length dummies; the consumed WR
+                    # is field-for-field the repost the worker would build.
+                    wrs = [popped]
+                    staging = None
+                else:
+                    wrs = [popped]
+                    staging = rx_engine.stagings[0]
+                    dma = rx_engine.dma
+                    dma.busy_until = dma_busy
+                    dma.bytes_copied += lens_total
+                    dma.ops += 1
+                op_r.bitmap.set(psn_lo)
+                op_r.placed.set(psn_lo)
+            else:
+                popped = [rq.popleft() for _ in range(n_chunks)]
+                if uc:
+                    wrs = popped
+                    staging = None
+                else:
+                    wrs = popped
+                    staging = rx_engine.stagings[0]
+                    dma = rx_engine.dma
+                    dma.busy_until = dma_busy
+                    dma.bytes_copied += lens_total
+                    dma.ops += n_chunks
+                op_r.bitmap.set_range(psn_lo, n_chunks)
+                op_r.placed.set_range(psn_lo, n_chunks)
+            # Payload: the real path stages through slot memory (UD) or
+            # places per packet (UC); byte-for-byte this is one slice copy.
+            op_r.mr.buf[lo_off:lo_off + payload_total] = src
+            op_r.stats["chunks_received"] += n_chunks
+            op_r.ff_hold += 1
+            rx.cursor = cursor
+            rx.last_arrival = last_a
+            if cursor > rx_engine.ff_resume_floor:
+                rx_engine.ff_resume_floor = cursor
+            seq += 1
+            heappush(queue, (fin, seq, _Callback(finish,
+                                                 (op_r, qp, wrs, staging))))
+        sim._seq = seq
+        # --- watchdog liveness over the folded window ---------------------
+        if sim._wd_armed and sim._wd_interval > 0.0:
+            step = sim._wd_interval / 2.0
+            tick = t_hook + step
+            while tick < fin_max:
+                sim.post_at(tick, sim.note_progress)
+                tick += step
+        # --- telemetry -----------------------------------------------------
+        self.ff_phases += 1
+        self.ff_skipped_events += n_chunks * (len(chans) + 3 * len(rx_folds))
+        self.ff_skipped_events += 2 * n_batches
+        if trc is not None:
+            trc.instant("engine.ff_exit", t_hook,
+                        {"until": fin_max, "send_done": send_done})
+
+    def _finish_fold(self, op_r: "OpState", qp, wrs: List[RecvWR],
+                     staging) -> None:
+        """The one committed event per receiver per fold: at the last
+        chunk's done instant, restore the receive queue (the fold's
+        reposts, in done order) and release the completion hold."""
+        append = qp.recv_queue.append
+        for wr in wrs:
+            append(wr)
+        if staging is not None:
+            staging.reposts += len(wrs)
+        op_r.ff_hold -= 1
+        op_r.maybe_complete()
+
+
+def _count_trains(flags: List[bool], batch_sizes: List[int]) -> Tuple[int, int]:
+    """(trains, train_packets) a channel would have recorded for the
+    batches whose train flag survived the coalescing chain so far."""
+    trains = 0
+    train_pkts = 0
+    for f, sz in zip(flags, batch_sizes):
+        if f:
+            trains += 1
+            train_pkts += sz
+    return trains, train_pkts
+
+
+def _drain_cq(pending: List[float], lo: int, t: float) -> Tuple[float, int, int]:
+    """Replay one ``send_cq.wait() + poll()`` round of ``run_send``.
+
+    ``pending[lo:]`` holds undrained signaled-CQE push instants in
+    increasing order.  If any are due at *t* the wait returns immediately
+    and the poll drains all of them; otherwise the worker parks until the
+    next push and drains exactly it.
+    """
+    if lo < len(pending) and pending[lo] <= t:
+        k = 0
+        while lo < len(pending) and pending[lo] <= t:
+            lo += 1
+            k += 1
+        return t, k, lo
+    t = pending[lo]
+    return t, 1, lo + 1

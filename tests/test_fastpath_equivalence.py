@@ -144,10 +144,11 @@ def test_clean_equivalence(kind: str, seed: int) -> None:
 @pytest.mark.parametrize("kind", ["broadcast", "allgather"])
 @pytest.mark.parametrize("seed", [0, 1])
 def test_lossy_equivalence(kind: str, seed: int) -> None:
-    # Live drop machinery forces the per-packet slow path on every channel,
-    # so both runs literally execute the same code — the assertion proves
-    # the fast-path *gate* (not just the arithmetic) is correct.
-    _assert_equivalent(kind, seed, fault_factory=_lossy, expect_trains=False)
+    # Drop machinery no longer forces the per-packet slow path: the train
+    # walk evaluates each packet's drop decision inline, in the identical
+    # RNG consumption order, and delivers the survivors as one train.
+    # Lossy channels must therefore still coalesce — and stay bit-exact.
+    _assert_equivalent(kind, seed, fault_factory=_lossy, expect_trains=True)
 
 
 @pytest.mark.parametrize("kind", ["broadcast", "allgather"])
@@ -268,6 +269,187 @@ def test_recv_batching_straggler_window_suppresses_batches() -> None:
     res_b, res_s = run(True), run(False)
     assert res_b.engine["cqe_batches"] == 0
     assert res_b.duration == res_s.duration
+
+
+# ---------------------------------------------------------------------------
+# Flow-level fast-forward (DESIGN.md §"Hybrid flow-level fast-forward"):
+# ff=exact must be bit-identical in virtual time and result digests to the
+# packet-level engine; ff=banded stays within its declared ≤0.5% tolerance.
+# Event counts necessarily DROP under fast-forward (that is the point), so
+# this axis never compares sim_events; the wire/host counters it mirrors
+# (bytes, packets, trains, switch forwards, traffic) must still agree.
+# Receiver-batch telemetry (cqe_batches/batched_cqes) is also excluded: a
+# folded phase never wakes the workers that would have batched.
+# ---------------------------------------------------------------------------
+
+BANDED_TOL = 5e-3  # matches repro.sim.fastforward.BANDED_TOLERANCE
+
+
+def _run_ff(kind: str, seed: int, ff: str, fault_factory=None,
+            transport: str = "ud", straggler=None):
+    sim = Simulator()
+    fabric = Fabric(
+        sim,
+        Topology.leaf_spine(P, 2, 2),
+        link_bandwidth=gbit_per_s(56),
+        streams=RandomStreams(seed),
+    )
+    if fault_factory is not None:
+        fabric.set_fault_all(fault_factory)
+    if straggler is not None:
+        host, spec = straggler
+        fabric.set_straggler(host, spec)
+    comm = Communicator(
+        fabric, config=CollectiveConfig(chunk_size=4096, transport=transport,
+                                        fast_forward=ff)
+    )
+    rng = np.random.default_rng(seed)
+    if kind == "broadcast":
+        data = rng.integers(0, 256, NBYTES, dtype=np.uint8)
+        res = comm.broadcast(0, data)
+        assert res.verify_broadcast(data)
+    else:
+        data = [rng.integers(0, 256, 16 * KiB, dtype=np.uint8)
+                for _ in range(P)]
+        res = comm.allgather(data)
+        assert res.verify_allgather(data)
+    return comm, res
+
+
+def _assert_ff_exact(kind: str, seed: int, fault_factory=None,
+                     transport: str = "ud", straggler=None,
+                     expect_folds: bool = True) -> None:
+    comm_ff, res_ff = _run_ff(kind, seed, "exact", fault_factory,
+                              transport, straggler)
+    comm_off, res_off = _run_ff(kind, seed, "off", fault_factory,
+                                transport, straggler)
+
+    assert res_ff.t_begin == res_off.t_begin
+    assert res_ff.t_end == res_off.t_end
+    assert res_ff.duration == res_off.duration
+    for rf, ro in zip(res_ff.ranks, res_off.ranks):
+        assert rf.phases == ro.phases, f"rank {rf.rank} phase timestamps differ"
+        assert rf.counters == ro.counters
+
+    assert _channel_counters(comm_ff.fabric) == _channel_counters(comm_off.fabric)
+    assert _switch_counters(comm_ff.fabric) == _switch_counters(comm_off.fabric)
+    assert res_ff.traffic == res_off.traffic
+    assert res_ff.reliability_summary() == res_off.reliability_summary()
+    # The fold mirrors the train counters the packet engine would produce.
+    assert res_ff.engine["trains"] == res_off.engine["trains"]
+    assert res_ff.engine["train_packets"] == res_off.engine["train_packets"]
+
+    for bf, bo in zip(res_ff.buffers, res_off.buffers):
+        assert np.array_equal(bf, bo)
+
+    assert res_off.engine["ff_phases"] == 0
+    if expect_folds:
+        assert res_ff.engine["ff_phases"] > 0, "fast-forward never engaged"
+        assert res_ff.engine["sim_events"] < res_off.engine["sim_events"]
+    else:
+        assert res_ff.engine["ff_phases"] == 0, (
+            "fast-forward must stay off while a fault schedule is live"
+        )
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("transport", ["ud", "uc"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_ff_exact_clean_equivalence(kind: str, transport: str, seed: int) -> None:
+    _assert_ff_exact(kind, seed, transport=transport)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_ff_exact_lossy_equivalence(kind: str, seed: int) -> None:
+    # Armed drop machinery fails every channel's fault_inert() probe, so
+    # the eligibility gate must veto all folds — and the run must then be
+    # trivially identical to the packet engine.
+    _assert_ff_exact(kind, seed, fault_factory=_lossy, expect_folds=False)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_ff_exact_straggler_equivalence(kind: str, seed: int) -> None:
+    # A straggler window overlapping any receiver's folded interval vetoes
+    # the fold (fabric.straggler_inert); with host 3 slow for the whole
+    # run, no phase may fold and results stay bit-identical.
+    spec = StragglerSpec(windows=[(0.0, 1e-3)], extra_poll_delay=300e-9)
+    _assert_ff_exact(kind, seed, straggler=(3, spec), expect_folds=False)
+
+
+@pytest.mark.parametrize("kind", ["broadcast", "allgather"])
+@pytest.mark.parametrize("transport", ["ud", "uc"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_ff_banded_within_tolerance(kind: str, transport: str, seed: int) -> None:
+    _, res_b = _run_ff(kind, seed, "banded", transport=transport)
+    _, res_off = _run_ff(kind, seed, "off", transport=transport)
+    assert res_b.engine["ff_phases"] > 0, "banded fast-forward never engaged"
+    assert res_b.t_end == pytest.approx(res_off.t_end, rel=BANDED_TOL)
+    assert res_b.duration == pytest.approx(res_off.duration, rel=BANDED_TOL)
+    # Byte/packet accounting is exact even in banded mode; only instants
+    # carry the tolerance.
+    assert res_b.traffic == res_off.traffic
+    for bb, bo in zip(res_b.buffers, res_off.buffers):
+        assert np.array_equal(bb, bo)
+
+
+def test_ff_poisons_collective_after_fallback() -> None:
+    """Within ONE collective, any packet-level fallback must veto every
+    later fold of the same collective: a fallback phase moves the real
+    receive-worker cursors, which the analytic fold can no longer track.
+    A flap window covering the first phases forces exactly that."""
+    def stale(s: str, d: str) -> FaultSpec:
+        return FaultSpec(flap_windows=[(0.0, 2e-5)])
+
+    comm_ff, res_ff = _run_ff("allgather", 0, "exact", fault_factory=stale)
+    assert res_ff.engine["ff_phases"] == 0
+    assert res_ff.engine["ff_aborts"] > 0
+    # ... and the run is still bit-identical to the packet engine.
+    _assert_ff_exact("allgather", 0, fault_factory=stale, expect_folds=False)
+
+
+def test_ff_mixed_mode_across_collectives() -> None:
+    """A fault window that expires between collectives poisons nothing
+    permanently: the first broadcast (window live) runs packet-level, the
+    second folds — and both match the packet engine bit-for-bit."""
+    def stale(s: str, d: str) -> FaultSpec:
+        return FaultSpec(flap_windows=[(0.0, 2e-5)])
+
+    def run(ff: str):
+        comm = _make_comm(0, True, fault_factory=stale)
+        comm.config.fast_forward = ff
+        comm.ff = None
+        if ff != "off":
+            from repro.sim.fastforward import FlowFastForward
+            comm.ff = FlowFastForward(comm)
+        rng = np.random.default_rng(0)
+        data1 = rng.integers(0, 256, NBYTES, dtype=np.uint8)
+        data2 = rng.integers(0, 256, NBYTES, dtype=np.uint8)
+        res1 = comm.broadcast(0, data1)
+        res2 = comm.broadcast(0, data2)
+        assert res1.verify_broadcast(data1)
+        assert res2.verify_broadcast(data2)
+        return res1, res2
+
+    (ff1, ff2) = run("exact")
+    (off1, off2) = run("off")
+    assert ff1.engine["ff_phases"] == 0, "window was live: must not fold"
+    assert ff2.engine["ff_phases"] > 0, "window expired: second op must fold"
+    for rf, ro in [(ff1, off1), (ff2, off2)]:
+        assert rf.t_begin == ro.t_begin
+        assert rf.t_end == ro.t_end
+        for a, b in zip(rf.ranks, ro.ranks):
+            assert a.phases == b.phases
+
+
+def test_ff_off_is_default() -> None:
+    cfg = CollectiveConfig()
+    assert cfg.fast_forward == "off"
+    with pytest.raises(ValueError):
+        sim = Simulator()
+        fabric = Fabric(sim, Topology.star(4), streams=RandomStreams(0))
+        CollectiveConfig(fast_forward="bogus").validate(fabric)
 
 
 def test_coalescing_toggle_mid_simulation() -> None:

@@ -17,6 +17,11 @@ scenarios that together cover the hot paths the fast-path PR optimizes:
 * ``ag1024``      1024-rank chain-scheduled allgather under exact
                   fast-forward — O(P^2) receiver folds; the scaling
                   stress case for the fold commit path
+* ``ar188``       188-host composed allreduce (INC reduce-scatter →
+                  multicast allgather in one submission) — the paper
+                  Appendix B shape at testbed scale
+* ``a2a16``       16-rank personalized alltoall over unicast RC QPs
+                  (the MoE expert-parallel exchange)
 
 Virtual-time outputs (durations) and event counts are deterministic:
 any change to either is a *semantic* change, not noise, and fails the
@@ -198,6 +203,39 @@ def scenario_ag1024(coalescing: bool, batching: bool = True,
     return _result(wall, res)
 
 
+def scenario_ar188(coalescing: bool, batching: bool = True,
+                   ff: str | None = None) -> Dict[str, float]:
+    fabric = make_fabric(188, mtu=4096)
+    fabric.set_coalescing(coalescing)
+    comm = Communicator(fabric, config=coarse_config(
+        4096, n_chains=188, recv_batching=batching, **_ff_kw(ff)))
+    # 1024 float32 elements per shard (4 KiB, one chunk) x 188 shards.
+    elems = 188 * 1024
+    data = [(np.arange(elems, dtype=np.float32) % 251) + r
+            for r in range(188)]
+    t0 = time.perf_counter()
+    res = comm.allreduce(data, algorithm="inc")
+    wall = time.perf_counter() - t0
+    assert res.verify_allreduce(data), "allreduce payload corrupted"
+    return _result(wall, res)
+
+
+def scenario_a2a16(coalescing: bool, batching: bool = True,
+                   ff: str | None = None) -> Dict[str, float]:
+    fabric = make_fabric(16, mtu=4096)
+    fabric.set_coalescing(coalescing)
+    comm = Communicator(fabric, config=CollectiveConfig(chunk_size=4096,
+                                                       recv_batching=batching,
+                                                       **_ff_kw(ff)))
+    data = [(np.arange(64 * KiB, dtype=np.uint32) % 251 + r).astype(np.uint8)
+            for r in range(16)]
+    t0 = time.perf_counter()
+    res = comm.alltoall(data)
+    wall = time.perf_counter() - t0
+    assert res.verify_alltoall(data), "alltoall payload corrupted"
+    return _result(wall, res)
+
+
 SCENARIOS = {
     "ag16": scenario_ag16,
     "bcast188": scenario_bcast188,
@@ -206,17 +244,19 @@ SCENARIOS = {
     "fsdp": scenario_fsdp,
     "bcast1024": scenario_bcast1024,
     "ag1024": scenario_ag1024,
+    "ar188": scenario_ar188,
+    "a2a16": scenario_a2a16,
 }
 
 #: Scenarios whose wall-clock is event-loop dominated and therefore a
-#: meaningful simulator-speed signal.  ``bcast188`` (coarse) and
-#: ``bcast1024`` and ``ag1024`` are excluded: their wall-clock is
-#: dominated by first-touch page faults on the hundreds of MiB of
-#: per-rank staging/user buffers they allocate — a memory-subsystem
+#: meaningful simulator-speed signal.  ``bcast188`` (coarse),
+#: ``bcast1024``, ``ag1024``, and ``ar188`` are excluded: their
+#: wall-clock is dominated by first-touch page faults on the hundreds of
+#: MiB of per-rank staging/user buffers they allocate — a memory-subsystem
 #: measurement that swings 2x between runs.  Their *event count and
 #: virtual time* are still gated exactly; the CI wall budget for the
 #: 1024-host scale lives in ``bench_ff_scaling.py --smoke``.
-WALL_GATED = frozenset({"ag16", "bcast188hf", "lossy188", "fsdp"})
+WALL_GATED = frozenset({"ag16", "bcast188hf", "lossy188", "fsdp", "a2a16"})
 
 
 def run_all(coalescing: bool, batching: bool = True,

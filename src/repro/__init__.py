@@ -27,13 +27,19 @@ Quickstart
 """
 
 from repro.core.communicator import (
+    BaselineHandle,
     CollectiveConfig,
+    CollectiveHandle,
     CollectiveKind,
+    CollectiveRequest,
+    CollectiveRequestError,
     CollectiveResult,
     Communicator,
+    ComposedHandle,
     FailurePolicy,
     OpHandle,
     PhaseBreakdown,
+    PhaseStats,
     RankStats,
     ReduceScatterHandle,
 )
@@ -55,11 +61,16 @@ from repro.sim.random import RandomStreams
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaselineHandle",
     "CollectiveAbortedError",
     "CollectiveConfig",
+    "CollectiveHandle",
     "CollectiveKind",
+    "CollectiveRequest",
+    "CollectiveRequestError",
     "CollectiveResult",
     "Communicator",
+    "ComposedHandle",
     "CrashSpec",
     "CutoffEstimator",
     "Fabric",
@@ -70,6 +81,7 @@ __all__ = [
     "OpHandle",
     "PeerDeadError",
     "PhaseBreakdown",
+    "PhaseStats",
     "RandomStreams",
     "RankStats",
     "ReduceScatterHandle",

@@ -148,14 +148,14 @@ def _tune(args: list) -> int:
 
     from repro.bench.runner import format_table
     from repro.tune import ProfileStore, Scenario, autotune
-    from repro.tune.scenario import FAULT_PROFILES
+    from repro.tune.scenario import FAULT_PROFILES, TUNABLE_COLLECTIVES
 
     ap = argparse.ArgumentParser(
         prog="python -m repro tune",
         description="Search (or recall) the best CollectiveConfig for a "
                     "deployment point; repeated runs with the same key are "
                     "pure cache hits served from the profile store.")
-    ap.add_argument("--collective", choices=("broadcast", "allgather"),
+    ap.add_argument("--collective", choices=TUNABLE_COLLECTIVES,
                     default="allgather")
     ap.add_argument("--hosts", type=int, default=16)
     ap.add_argument("--topo", default="auto",

@@ -13,6 +13,10 @@ traffic comparisons are apples-to-apples:
 * :func:`inc_reduce_scatter` — SHARP-like in-network-compute
   Reduce-Scatter running on the switch-reduction substrate
   (:mod:`repro.net.inc`).
+* :func:`inc_reduce` — rooted Reduce on the same substrate (PSN
+  ownership pinned to one rank).
+* :func:`p2p_alltoall` — personalized exchange over RC writes (the MoE
+  expert-parallel pattern).
 
 All baselines use RC transport: RDMA writes with immediate notifications,
 hardware reliability — the production configuration whose *send-path* cost
@@ -25,15 +29,22 @@ from repro.core.baselines.allgather import (
     recursive_doubling_allgather,
     ring_allgather,
 )
+from repro.core.baselines.alltoall import p2p_alltoall
 from repro.core.baselines.bcast import binary_tree_broadcast, knomial_broadcast
-from repro.core.baselines.reduce import inc_reduce_scatter, ring_reduce_scatter
+from repro.core.baselines.reduce import (
+    inc_reduce,
+    inc_reduce_scatter,
+    ring_reduce_scatter,
+)
 
 __all__ = [
     "BaselineResult",
     "P2PNet",
     "binary_tree_broadcast",
+    "inc_reduce",
     "inc_reduce_scatter",
     "knomial_broadcast",
+    "p2p_alltoall",
     "linear_allgather",
     "recursive_doubling_allgather",
     "ring_allgather",

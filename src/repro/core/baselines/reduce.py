@@ -22,7 +22,7 @@ from repro.net.nic import RecvWR, Transport
 from repro.sim.events import Timeout
 from repro.units import gib_per_s
 
-__all__ = ["ring_reduce_scatter", "inc_reduce_scatter"]
+__all__ = ["ring_reduce_scatter", "inc_reduce_scatter", "inc_reduce"]
 
 #: software reduction bandwidth (vectorized FMA on one core, DRAM bound)
 REDUCE_BW = gib_per_s(20)
@@ -219,6 +219,96 @@ def inc_reduce_scatter(
         return res
 
     pending.postprocess = _expose_shards
+    return pending if defer else pending.finish()
+
+
+def inc_reduce(
+    fabric: Fabric,
+    send_data: Sequence[np.ndarray],
+    root: int,
+    hosts: Optional[Sequence[int]] = None,
+    cost: Optional[HostCostModel] = None,
+    segment_bytes: int = 4096,
+    defer: bool = False,
+):
+    """Rooted Reduce on the switch-reduction substrate.
+
+    Identical injection profile to :func:`inc_reduce_scatter` (every rank
+    sends its whole contribution up the tree once), but the tree's PSN
+    ownership is overridden so the *root* rank receives the entire reduced
+    buffer — N bytes down one NIC instead of N/P down every NIC.
+    """
+    net = P2PNet(fabric, hosts, cost)
+    p = net.size
+    if p < 2:
+        raise ValueError("INC reduce needs at least 2 ranks")
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range for {p} ranks")
+    arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1)
+              for d in send_data]
+    elems = arrays[0].size
+    if any(a.size != elems for a in arrays):
+        raise ValueError("all contributions must have the same length")
+    nbytes = elems * 4
+    cost_model = net.cost
+    root_host = net.hosts[root]
+
+    # Only the root owns a result buffer and a notification QP; the other
+    # members are pure contributors.
+    result_buf = np.zeros(nbytes, dtype=np.uint8)
+    net.register(root, result_buf)
+    nic = net.nic(root)
+    qp = nic.create_qp(Transport.RC, recv_cq=net.recv_cq(root))
+    dummy = nic.memory.register(1)
+
+    tree = fabric.create_inc_tree(
+        members=list(net.hosts),
+        rkey=net.rkey,
+        qpn_of={root_host: qp.qpn},
+        shard_bytes=nbytes,
+        segment_bytes=segment_bytes,
+        root_host=root_host,
+    )
+    # The root drains the whole reduced buffer (not one shard), so keep a
+    # receive posted for every in-flight segment — the 64-slot pool of the
+    # scatter path would RNR-drop reliable writes on large buffers.
+    for i in range(max(64, tree.n_segments)):
+        qp.post_recv(RecvWR(wr_id=i, mr_key=dummy.key, offset=0, length=0))
+
+    def rank_proc(r: int):
+        data = arrays[r].view(np.uint8)
+        for psn in range(tree.n_segments):
+            _, off = tree.owner_of(psn)
+            seg_len = tree.seg_len(psn)
+            if psn % 32 == 0:
+                yield Timeout(net.sim, cost_model.send_batch(min(32, tree.n_segments - psn)))
+            finish = tree.inject(net.hosts[r], psn, data[off : off + seg_len])
+            if finish > net.sim.now:
+                yield Timeout(net.sim, finish - net.sim.now)
+        if r != root:
+            return net.sim.now
+        expected = tree.n_segments
+        got = 0
+        cq = net.recv_cq(r)
+        while got < expected:
+            yield cq.wait()
+            for cqe in cq.poll():
+                yield Timeout(net.sim, cost_model.cqe_poll + cost_model.cqe_process)
+                qp.post_recv(RecvWR(wr_id=cqe.wr_id, mr_key=dummy.key,
+                                    offset=0, length=0))
+                got += 1
+        return net.sim.now
+
+    pending = run_baseline(fabric, "inc_reduce", "reduce", net.hosts,
+                           nbytes, [result_buf], [rank_proc(r) for r in range(p)],
+                           defer=True)
+
+    def _expose_root(res):
+        res.buffers = [result_buf.view(np.float32).copy() if r == root
+                       else np.zeros(0, dtype=np.float32) for r in range(p)]
+        return res
+
+    pending.postprocess = _expose_root
     return pending if defer else pending.finish()
 
 

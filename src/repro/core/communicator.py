@@ -2,9 +2,13 @@
 
 A :class:`Communicator` groups a set of fabric hosts, builds the protocol
 resources (multicast subgroups, progress engines, control plane) and
-exposes Broadcast and Allgather — synchronous wrappers plus ``*_async``
-variants that return an :class:`OpHandle`, letting callers overlap several
-collectives (the FSDP interleaving scenario of paper §II-A).
+exposes all six collectives through one submission surface:
+``submit(CollectiveRequest) -> CollectiveHandle`` dispatches on
+:class:`CollectiveKind`; the per-kind methods (``broadcast``,
+``allgather``, ``reduce_scatter``, ``reduce``, ``allreduce``,
+``alltoall`` plus their ``*_async`` variants) are thin wrappers that
+build the request for you, letting callers overlap several collectives
+(the FSDP interleaving scenario of paper §II-A).
 
 Example
 -------
@@ -14,7 +18,9 @@ Example
     fabric = Fabric(sim, Topology.leaf_spine(16, 2, 2))
     comm = Communicator(fabric)
     data = [np.full(64 * 1024, r, dtype=np.uint8) for r in range(comm.size)]
-    result = comm.allgather(data)
+    handle = comm.submit(CollectiveRequest(kind="allgather", data=data))
+    handle.wait()
+    result = handle.result()
     assert result.verify_allgather(data)
 """
 
@@ -31,6 +37,15 @@ from repro.core.chunking import ChunkPlan, ImmLayout
 from repro.core.costmodel import HostCostModel
 from repro.core.ops import OpState, RKEY_BASE
 from repro.core.progress import RankEngine
+from repro.core.reliability import CollectiveAbortedError
+from repro.core.request import (
+    ROOTED_KINDS,
+    CollectiveHandle,
+    CollectiveKind,
+    CollectiveRequest,
+    CollectiveRequestError,
+    PhaseStats,
+)
 from repro.core.sequencer import BroadcastSequencer, effective_chains
 from repro.core.subgroups import SubgroupPlan
 from repro.net.fabric import Fabric
@@ -44,31 +59,20 @@ from repro.sim.fastforward import FlowFastForward
 __all__ = [
     "CollectiveConfig",
     "CollectiveKind",
+    "CollectiveRequest",
+    "CollectiveRequestError",
+    "CollectiveHandle",
     "FailurePolicy",
     "Communicator",
     "OpHandle",
+    "BaselineHandle",
+    "ComposedHandle",
     "ReduceScatterHandle",
     "PhaseBreakdown",
+    "PhaseStats",
     "RankStats",
     "CollectiveResult",
 ]
-
-
-class CollectiveKind(str, enum.Enum):
-    """The collectives a :class:`Communicator` can run.
-
-    A ``str`` subclass so existing ``result.kind == "allgather"``
-    comparisons keep working, while payload accounting dispatches on the
-    enum and **raises** on unknown kinds instead of silently falling back
-    to broadcast math.
-    """
-
-    BROADCAST = "broadcast"
-    ALLGATHER = "allgather"
-    REDUCE_SCATTER = "reduce_scatter"
-
-    def __str__(self) -> str:  # "broadcast", not "CollectiveKind.BROADCAST"
-        return self.value
 
 
 class FailurePolicy(str, enum.Enum):
@@ -281,10 +285,26 @@ class CollectiveResult:
     #: ``validity[r]`` is a bool array over chunks (True = real payload) or
     #: ``None`` when every chunk landed; dead ranks also get ``None``
     validity: Optional[List[Optional[np.ndarray]]] = None
+    #: root rank for the rooted kinds (broadcast, reduce); ``None`` otherwise
+    root: Optional[int] = None
+    #: per-phase timeline — one entry per sub-collective for composed kinds
+    #: (allreduce: reduce_scatter → allgather), else a single entry; see
+    #: :attr:`phases`
+    phase_stats: List[PhaseStats] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_begin
+
+    @property
+    def phases(self) -> List[PhaseStats]:
+        """Uniform phase timeline across all six kinds: composed
+        collectives report one entry per sub-collective, simple kinds a
+        single entry spanning the whole window."""
+        if self.phase_stats:
+            return list(self.phase_stats)
+        return [PhaseStats(str(self.kind), str(self.kind),
+                           self.t_begin, self.t_end)]
 
     @property
     def degraded(self) -> bool:
@@ -299,6 +319,15 @@ class CollectiveResult:
             return self.send_bytes  # broadcast leaf
         if kind is CollectiveKind.REDUCE_SCATTER:
             return self.send_bytes // self.comm_size  # one reduced shard
+        if kind is CollectiveKind.REDUCE:
+            return self.send_bytes  # the root drains the whole reduction
+        if kind is CollectiveKind.ALLREDUCE:
+            # RS shard down (N/P) + allgather of the other shards
+            # (N·(P−1)/P) = the full reduced buffer.
+            return self.send_bytes
+        if kind is CollectiveKind.ALLTOALL:
+            # every remote block; the local block never touches the wire
+            return self.send_bytes - self.send_bytes // self.comm_size
         raise ValueError(f"no payload accounting for kind {kind!r}")
 
     @property
@@ -308,7 +337,9 @@ class CollectiveResult:
         kind = CollectiveKind(self.kind)  # raises ValueError on unknown
         if kind is CollectiveKind.BROADCAST:
             total = self.send_bytes
-        elif kind in (CollectiveKind.ALLGATHER, CollectiveKind.REDUCE_SCATTER):
+        elif kind in (CollectiveKind.ALLGATHER, CollectiveKind.REDUCE_SCATTER,
+                      CollectiveKind.REDUCE, CollectiveKind.ALLREDUCE,
+                      CollectiveKind.ALLTOALL):
             total = self.send_bytes * self.comm_size
         else:
             raise ValueError(f"no payload accounting for kind {kind!r}")
@@ -406,30 +437,118 @@ class CollectiveResult:
             for r in range(self.comm_size)
         )
 
+    def verify_reduce(self, send_data: Sequence[np.ndarray],
+                      rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        """True when the root holds the full reduced float32 buffer and
+        every other rank holds nothing (rooted Reduce)."""
+        arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1)
+                  for d in send_data]
+        total = arrays[0].copy()
+        for a in arrays[1:]:
+            total += a
+        for r, buf in enumerate(self.buffers):
+            vals = np.asarray(buf)
+            if vals.dtype != np.float32:
+                vals = vals.view(np.float32)
+            if r == self.root:
+                if not np.allclose(vals, total, rtol=rtol, atol=atol):
+                    return False
+            elif vals.size:
+                return False
+        return True
 
-class OpHandle:
-    """An in-flight collective: per-rank op states + an all-done event."""
+    def verify_allreduce(self, send_data: Sequence[np.ndarray],
+                         rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        """True when every surviving rank holds the reduced float32 sum of
+        all contributions.  Degraded completions (a rank fail-stopped during
+        the allgather phase) are checked through the validity masks: valid
+        chunks must match the reduction, missing chunks must belong to a
+        dead rank's shard."""
+        arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1)
+                  for d in send_data]
+        total = arrays[0].copy()
+        for a in arrays[1:]:
+            total += a
+        dead = set(self.dead_ranks)
+        for r, buf in enumerate(self.buffers):
+            if r in dead:
+                continue
+            vals = np.asarray(buf)
+            if vals.dtype != np.float32:
+                vals = vals.view(np.float32)
+            mask = self.validity[r] if self.validity is not None else None
+            if mask is None:
+                if not np.allclose(vals, total, rtol=rtol, atol=atol):
+                    return False
+                continue
+            n_chunks = len(mask)
+            chunks_per_rank = n_chunks // self.comm_size
+            elems = (total.size + n_chunks - 1) // n_chunks
+            for i in range(n_chunks):
+                lo = i * elems
+                hi = min(lo + elems, total.size)
+                if mask[i]:
+                    if not np.allclose(vals[lo:hi], total[lo:hi],
+                                       rtol=rtol, atol=atol):
+                        return False
+                elif i // chunks_per_rank not in dead:
+                    return False  # hole outside any dead rank's shard
+        return True
+
+    def verify_alltoall(self, send_data: Sequence[np.ndarray]) -> bool:
+        """True when rank *r*'s receive buffer is the concatenation of
+        block *r* of every rank's contribution."""
+        payloads = [np.ascontiguousarray(d).reshape(-1).view(np.uint8)
+                    for d in send_data]
+        block = payloads[0].nbytes // self.comm_size
+        dead = set(self.dead_ranks)
+        for r, buf in enumerate(self.buffers):
+            if r in dead:
+                continue
+            expected = np.concatenate(
+                [pl[r * block:(r + 1) * block] for pl in payloads])
+            if not np.array_equal(np.asarray(buf).view(np.uint8), expected):
+                return False
+        return True
+
+
+class OpHandle(CollectiveHandle):
+    """An in-flight engine-backed collective: per-rank op states + an
+    all-done event."""
 
     def __init__(self, comm: "Communicator", kind: Union[str, CollectiveKind],
                  coll_id: int, ops: List[OpState], buffers: List[np.ndarray],
-                 send_bytes: int):
+                 send_bytes: int, root: Optional[int] = None):
         self.comm = comm
         self.kind = CollectiveKind(kind)
         self.coll_id = coll_id
         self.ops = ops
         self.buffers = buffers
         self.send_bytes = send_bytes
+        self.root = root
         self.t_submit = comm.sim.now
-        self.done = AllOf(comm.sim, [op.op_done for op in ops])
+        #: all-ranks-finished event (``done()`` — the protocol method —
+        #: answers the non-blocking bool; this is the raw simulator event)
+        self.done_event = AllOf(comm.sim, [op.op_done for op in ops])
 
     @property
     def complete(self) -> bool:
-        return self.done.triggered
+        return self.done_event.triggered
 
     @property
     def wait_events(self) -> List:
         """The events :meth:`Communicator.run` must drain for this handle."""
-        return [self.done]
+        return [self.done_event]
+
+    @property
+    def phases(self) -> List[PhaseStats]:
+        return [PhaseStats(str(self.kind), str(self.kind), self.t_submit,
+                           self.comm.sim.now)]
+
+    def _release(self) -> None:
+        for engine in self.comm.engines:
+            engine.release_op(self.coll_id)
+        self.comm._op_procs.pop(self.coll_id, None)
 
     def result(self, traffic: Optional[Dict[str, int]] = None,
                engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
@@ -486,34 +605,55 @@ class OpHandle:
             trace=tracer.view(t_begin, t_end) if tracer is not None else None,
             dead_ranks=dead,
             validity=validity,
+            root=self.root,
+            phase_stats=[PhaseStats(str(self.kind), str(self.kind),
+                                    t_begin, t_end)],
         )
 
 
-class ReduceScatterHandle:
-    """An in-flight Reduce-Scatter, adapted from the baseline substrate.
+class BaselineHandle(CollectiveHandle):
+    """An in-flight baseline-substrate collective (Reduce-Scatter, rooted
+    Reduce, Alltoall — anything running on the RC P2P / INC datapaths
+    rather than the multicast engine).
 
     Quacks like :class:`OpHandle` (``complete`` / ``wait_events`` /
-    ``result()``) so Reduce-Scatter rides the one Communicator surface —
+    ``result()``) so every kind rides the one Communicator surface —
     including mixed waits like ``comm.run(ag_handle, rs_handle)`` for the
     FSDP {AG, RS} pair.  ``wait_events`` exposes the underlying rank
     processes directly (a :class:`~repro.sim.process.Process` *is* an
     Event), deliberately not wrapping them in an ``AllOf``: resolution of
     an AllOf schedules one extra simulator event, which would perturb the
     exact event counts the speedometer perf gate pins.
+
+    ``coll_id`` is ``None``: baseline collectives own no immediate-data id
+    (the old negative-id convention is gone); handles are tracked by their
+    communicator-local ``handle_id``.
+
+    A fail-stop during a baseline collective tears down the dead rank's
+    process unconditionally (software dies with the host).  When the
+    communicator has a :class:`FailurePolicy`, the *whole* collective is
+    failed fast at the crash instant — a reduction missing a contributor
+    poisons every element, and the unicast exchange has no validity-mask
+    story — and :meth:`result` raises a typed
+    :class:`~repro.core.reliability.CollectiveAbortedError`.  Without a
+    policy, survivors hang until the watchdog fires, exactly like the
+    engine path with the liveness layer off.
     """
 
-    _ids = itertools.count(1)
-
-    def __init__(self, comm: "Communicator", pending) -> None:
+    def __init__(self, comm: "Communicator", kind: Union[str, CollectiveKind],
+                 pending, transport: str = "rc",
+                 root: Optional[int] = None) -> None:
         self.comm = comm
-        self.kind = CollectiveKind.REDUCE_SCATTER
-        # Negative ids: disjoint from the engines' immediate-data coll_id
-        # space, so an active RS never blocks _next_coll_id reuse.
-        self.coll_id = -next(ReduceScatterHandle._ids)
+        self.kind = CollectiveKind(kind)
+        self.coll_id = None
         self.pending = pending
         self.send_bytes = pending.send_bytes
+        self.root = root
+        self.transport = transport
         self.t_submit = comm.sim.now
         self._base = None
+        self._crash_dead: Set[int] = set()
+        self._crash_aborted = False
 
     @property
     def complete(self) -> bool:
@@ -523,16 +663,45 @@ class ReduceScatterHandle:
     def wait_events(self) -> List:
         return list(self.pending.procs)
 
+    @property
+    def phases(self) -> List[PhaseStats]:
+        t_end = self._base.t_end if self._base is not None else self.comm.sim.now
+        return [PhaseStats(str(self.kind), str(self.kind),
+                           self.pending.t_begin, t_end)]
+
+    def on_crash(self, rank: int) -> None:
+        procs = self.pending.procs
+        if self.complete or rank >= len(procs):
+            return
+        if procs[rank].alive:
+            procs[rank].kill()
+        if self.comm.config.failure_policy is not None:
+            self._crash_dead.add(rank)
+            self._crash_aborted = True
+            for p in procs:
+                if p.alive:
+                    p.kill()
+
+    def _finish(self):
+        """Materialize the baseline result (idempotent; a no-op drain when
+        everything already triggered — bit-identical payloads either way)."""
+        if self._base is None:
+            self._base = self.pending.finish()
+        return self._base
+
     def result(self, traffic: Optional[Dict[str, int]] = None,
                engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
         if not self.complete:
             raise RuntimeError("collective has not completed")
-        if self._base is None:
-            # finish() is a no-op drain here (everything already
-            # triggered); it materializes buffers + telemetry exactly as
-            # the standalone baseline path does — bit-identical payloads.
-            self._base = self.pending.finish()
-        base = self._base
+        if self._crash_aborted:
+            dead = sorted(self._crash_dead)
+            raise CollectiveAbortedError(
+                f"{self.kind} aborted: rank(s) {dead} fail-stopped "
+                "mid-collective and the baseline substrate cannot degrade",
+                rank=-1, coll_id=-1, kind=str(self.kind),
+                phase=str(self.kind), dead_ranks=dead,
+            )
+        base = self._finish()
         ranks = []
         for r, t in enumerate(base.rank_times):
             elapsed = t - base.t_begin
@@ -551,7 +720,7 @@ class ReduceScatterHandle:
             comm_size=base.comm_size,
             send_bytes=base.send_bytes,
             chunk_size=self.comm.config.chunk_size,
-            transport="rc",
+            transport=self.transport,
             t_begin=base.t_begin,
             t_end=base.t_end,
             ranks=ranks,
@@ -560,6 +729,143 @@ class ReduceScatterHandle:
             engine=engine or {},
             trace=(tracer.view(base.t_begin, base.t_end)
                    if tracer is not None else None),
+            root=self.root,
+            phase_stats=[PhaseStats(str(self.kind), str(self.kind),
+                                    base.t_begin, base.t_end)],
+        )
+
+
+class ReduceScatterHandle(BaselineHandle):
+    """Back-compat constructor: a Reduce-Scatter :class:`BaselineHandle`."""
+
+    def __init__(self, comm: "Communicator", pending) -> None:
+        super().__init__(comm, CollectiveKind.REDUCE_SCATTER, pending)
+
+
+class ComposedHandle(CollectiveHandle):
+    """A collective composed from a plan of sub-collectives run
+    back-to-back inside one submission — allreduce is the INC
+    reduce-scatter chained into the multicast allgather, the reduced
+    shards serving directly as the allgather's staging buffers
+    (paper Appendix B).
+
+    A driver process walks the plan: it launches phase *k+1* at the exact
+    instant phase *k*'s last rank process completes — the same instant a
+    caller chaining ``comm.reduce_scatter(...)`` then
+    ``comm.allgather(...)`` observes from ``run()`` — so the composed
+    collective is **bit-identical in virtual time** to manual chaining.
+    The driver itself never advances the clock (process resumption is a
+    zero-delay callback at the completion instant); it only sequences
+    launches.  Each phase reuses the full per-phase machinery: the
+    reliability/liveness layer and the flow-level fast-forward see one
+    ordinary collective at a time.
+    """
+
+    def __init__(self, comm: "Communicator", kind: Union[str, CollectiveKind],
+                 plan: List, send_bytes: int) -> None:
+        self.comm = comm
+        self.kind = CollectiveKind(kind)
+        self.coll_id = None
+        self.send_bytes = send_bytes
+        self.t_submit = comm.sim.now
+        self._plan = list(plan)
+        self._subs: List = []  # launched (name, handle) pairs
+        self._current: Optional[CollectiveHandle] = None
+        self._abort_dead: Optional[Set[int]] = None
+        self._proc = comm.sim.spawn(self._drive(), name=f"{self.kind}-driver")
+
+    def _drive(self):
+        prev = None
+        for name, factory in self._plan:
+            sub = factory(prev)
+            self._subs.append((name, sub))
+            self._current = sub
+            for ev in sub.wait_events:
+                yield ev
+            self._current = None
+            if self._abort_dead is not None:
+                break
+            prev = sub
+        if self._abort_dead is not None:
+            dead = sorted(self._abort_dead)
+            phase = self._subs[-1][0]
+            raise CollectiveAbortedError(
+                f"{self.kind} aborted: rank(s) {dead} fail-stopped during "
+                f"the {phase} phase (reductions cannot degrade)",
+                rank=-1, coll_id=-1, kind=str(self.kind), phase=phase,
+                dead_ranks=dead,
+            )
+        return self.comm.sim.now
+
+    @property
+    def complete(self) -> bool:
+        return self._proc.triggered
+
+    @property
+    def wait_events(self) -> List:
+        return [self._proc]
+
+    @property
+    def phases(self) -> List[PhaseStats]:
+        return [PhaseStats(name, str(sub.kind), sub.t_submit,
+                           self.comm.sim.now)
+                for name, sub in self._subs]
+
+    def exclusive_coll_id(self) -> Optional[int]:
+        sub = self._current
+        return sub.exclusive_coll_id() if sub is not None else None
+
+    def on_crash(self, rank: int) -> None:
+        sub = self._current
+        if sub is None or self.complete:
+            return
+        sub.on_crash(rank)
+        if getattr(sub, "_crash_aborted", False):
+            # Baseline (reduction) phase: the sub-handle already tore all
+            # ranks down; surface the abort from the driver.  Engine-phase
+            # crashes are handled by the liveness protocol instead.
+            dead = set(sub._crash_dead)
+            self._abort_dead = (self._abort_dead or set()) | dead
+
+    def _release(self) -> None:
+        for _name, sub in self._subs:
+            sub._release()
+
+    def result(self, traffic: Optional[Dict[str, int]] = None,
+               engine: Optional[Dict[str, int]] = None) -> CollectiveResult:
+        if not self.complete:
+            raise RuntimeError("collective has not completed")
+        if not self._proc.ok:
+            raise self._proc.value
+        (rs_name, rs), (ag_name, ag) = self._subs[0], self._subs[-1]
+        rs_base = rs._finish()
+        ag_res = ag.result()
+        tracer = self.comm.tracer
+        # The allgather ran over the reduced shards, so every surviving
+        # rank's gather buffer *is* the full reduced vector.
+        buffers = [np.asarray(b).view(np.float32) for b in ag_res.buffers]
+        return CollectiveResult(
+            kind=self.kind,
+            comm_size=self.comm.size,
+            send_bytes=self.send_bytes,
+            chunk_size=self.comm.config.chunk_size,
+            transport=f"rc+{self.comm.config.transport}",
+            t_begin=rs_base.t_begin,
+            t_end=ag_res.t_end,
+            ranks=ag_res.ranks,
+            buffers=buffers,
+            traffic=traffic or {},
+            engine=engine or {},
+            trace=(tracer.view(rs_base.t_begin, ag_res.t_end)
+                   if tracer is not None else None),
+            dead_ranks=ag_res.dead_ranks,
+            validity=ag_res.validity,
+            phase_stats=[
+                PhaseStats(rs_name, str(rs.kind), rs_base.t_begin,
+                           rs_base.t_end),
+                PhaseStats(ag_name, str(ag.kind), ag_res.t_begin,
+                           ag_res.t_end),
+            ],
         )
 
 
@@ -609,8 +915,12 @@ class Communicator:
         for r in range(self.size):
             self.engines.append(RankEngine(self, r))
         self._coll_ids = itertools.count(0)
-        #: in-flight handles by coll_id (engine ids >= 0, RS handles < 0)
-        self._active: Dict[int, Union[OpHandle, ReduceScatterHandle]] = {}
+        self._handle_ids = itertools.count(0)
+        #: in-flight handles by handle_id (one id space for every kind;
+        #: engine-backed sub-ops additionally carry an immediate-data
+        #: coll_id, but that is an engine detail, not the tracking key)
+        self._active: Dict[int, CollectiveHandle] = {}
+        self._api_track = None  # lazy obs track for submission tracepoints
         #: flow-level fast-forward engine (None when the knob is off)
         self.ff: Optional[FlowFastForward] = (
             FlowFastForward(self) if self.config.fast_forward != "off" else None
@@ -678,6 +988,10 @@ class Communicator:
                     proc.kill()
         for op in list(engine.ops.values()):
             op.abandon()
+        # Baseline-substrate and composed handles manage their own rank
+        # processes; let each apply the failure policy to its current phase.
+        for handle in list(self._active.values()):
+            handle.on_crash(rank)
 
     def note_death(self, rank: int) -> None:
         """Protocol-level death confirmation (called by a survivor's engine
@@ -750,10 +1064,81 @@ class Communicator:
         arr = np.ascontiguousarray(data)
         return arr.reshape(-1).view(np.uint8)
 
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: CollectiveRequest) -> CollectiveHandle:
+        """Launch the collective described by *request*; returns a handle.
+
+        The one entry point for all six kinds: the request has already
+        validated its field combinations eagerly; this checks the parts
+        that need the communicator (root range, contribution count) and
+        dispatches on :class:`CollectiveKind`.  The per-kind methods are
+        thin wrappers over this.
+        """
+        if not isinstance(request, CollectiveRequest):
+            raise CollectiveRequestError(
+                f"submit() takes a CollectiveRequest, got "
+                f"{type(request).__name__}; build one instead of passing "
+                "raw kind strings"
+            )
+        kind = request.kind
+        if kind in ROOTED_KINDS and not 0 <= request.root < self.size:
+            raise CollectiveRequestError(
+                f"root {request.root} out of range for {self.size} ranks")
+        if kind is not CollectiveKind.BROADCAST and len(request.data) != self.size:
+            raise CollectiveRequestError(
+                f"{kind} needs {self.size} send buffers, got {len(request.data)}")
+        if kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.REDUCE,
+                    CollectiveKind.ALLREDUCE, CollectiveKind.ALLTOALL) \
+                and self.dead_ranks:
+            # The baseline substrates have no degraded mode: a reduction
+            # missing a contributor poisons every element, and the INC tree
+            # would wait forever for the dead rank's segments.  Fail the
+            # submission instead of hanging the simulation.
+            raise CollectiveAbortedError(
+                f"{kind} cannot start: rank(s) {sorted(self.dead_ranks)} "
+                "already fail-stopped and the substrate cannot degrade",
+                rank=-1, coll_id=-1, kind=str(kind), phase="submit",
+                dead_ranks=sorted(self.dead_ranks),
+            )
+        if kind is CollectiveKind.BROADCAST:
+            handle = self._launch_broadcast(request.root, request.data)
+        elif kind is CollectiveKind.ALLGATHER:
+            handle = self._launch_allgather(request.data)
+        elif kind is CollectiveKind.REDUCE_SCATTER:
+            handle = self._launch_reduce_scatter(
+                request.data, request.algorithm or "inc", request.cost,
+                request.segment_bytes)
+        elif kind is CollectiveKind.REDUCE:
+            handle = self._launch_reduce(request.data, request.root,
+                                         request.cost, request.segment_bytes)
+        elif kind is CollectiveKind.ALLREDUCE:
+            handle = self._launch_allreduce(
+                request.data, request.algorithm or "inc", request.cost,
+                request.segment_bytes)
+        elif kind is CollectiveKind.ALLTOALL:
+            handle = self._launch_alltoall(request.data, request.cost,
+                                           request.chunk_bytes)
+        else:  # pragma: no cover - CollectiveRequest already validated
+            raise CollectiveRequestError(f"no dispatch for kind {kind!r}")
+        return self._register(handle)
+
+    def _register(self, handle: CollectiveHandle) -> CollectiveHandle:
+        handle.handle_id = next(self._handle_ids)
+        self._active[handle.handle_id] = handle
+        if self.tracer is not None:
+            if self._api_track is None:
+                self._api_track = self.tracer.track("comm", "api")
+            self._api_track.instant(
+                "comm.submit", self.sim.now,
+                {"kind": str(handle.kind), "handle": handle.handle_id},
+            )
+        return handle
+
     # ------------------------------------------------------------ broadcast
 
-    def broadcast_async(self, root: int, data: np.ndarray) -> OpHandle:
-        """Start a Broadcast of *data* from rank *root*; returns a handle."""
+    def _launch_broadcast(self, root: int, data: np.ndarray) -> OpHandle:
+        """Build + start a Broadcast of *data* from rank *root*."""
         if not 0 <= root < self.size:
             raise ValueError(f"root {root} out of range")
         payload = self._as_bytes(data)
@@ -791,14 +1176,17 @@ class Communicator:
             ops.append(op)
             buffers.append(mr.buf)
         self._op_procs[cid] = procs
-        handle = OpHandle(self, "broadcast", cid, ops, buffers, nbytes)
-        self._active[cid] = handle
-        return handle
+        return OpHandle(self, "broadcast", cid, ops, buffers, nbytes, root=root)
+
+    def broadcast_async(self, root: int, data: np.ndarray) -> OpHandle:
+        """Start a Broadcast of *data* from rank *root*; returns a handle."""
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.BROADCAST, data=data, root=root))
 
     # ------------------------------------------------------------ allgather
 
-    def allgather_async(self, send_data: Sequence[np.ndarray]) -> OpHandle:
-        """Start an Allgather; ``send_data[r]`` is rank *r*'s contribution.
+    def _launch_allgather(self, send_data: Sequence[np.ndarray]) -> OpHandle:
+        """Build + start an Allgather over per-rank contributions.
 
         All contributions must have equal byte size, divisible by the chunk
         size so shard boundaries align with chunk boundaries.
@@ -873,11 +1261,39 @@ class Communicator:
             ops.append(op)
             buffers.append(mr.buf)
         self._op_procs[cid] = procs
-        handle = OpHandle(self, "allgather", cid, ops, buffers, nbytes)
-        self._active[cid] = handle
-        return handle
+        return OpHandle(self, "allgather", cid, ops, buffers, nbytes)
+
+    def allgather_async(self, send_data: Sequence[np.ndarray]) -> OpHandle:
+        """Start an Allgather; ``send_data[r]`` is rank *r*'s contribution."""
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.ALLGATHER, data=send_data))
 
     # -------------------------------------------------------- reduce-scatter
+
+    def _launch_reduce_scatter(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str,
+        cost: Optional[HostCostModel],
+        segment_bytes: int,
+    ) -> ReduceScatterHandle:
+        from repro.core.baselines.reduce import (
+            inc_reduce_scatter,
+            ring_reduce_scatter,
+        )
+
+        if algorithm == "inc":
+            pending = inc_reduce_scatter(
+                self.fabric, send_data, self.hosts, cost,
+                segment_bytes=segment_bytes, defer=True,
+            )
+        elif algorithm == "ring":
+            pending = ring_reduce_scatter(
+                self.fabric, send_data, self.hosts, cost, defer=True,
+            )
+        else:
+            raise ValueError(f"unknown reduce-scatter algorithm {algorithm!r}")
+        return ReduceScatterHandle(self, pending)
 
     def reduce_scatter_async(
         self,
@@ -895,25 +1311,9 @@ class Communicator:
         :class:`HostCostModel` (RS runs on the RC P2P datapath, not this
         communicator's multicast engine, so its cost model is independent).
         """
-        from repro.core.baselines.reduce import (
-            inc_reduce_scatter,
-            ring_reduce_scatter,
-        )
-
-        if algorithm == "inc":
-            pending = inc_reduce_scatter(
-                self.fabric, send_data, self.hosts, cost,
-                segment_bytes=segment_bytes, defer=True,
-            )
-        elif algorithm == "ring":
-            pending = ring_reduce_scatter(
-                self.fabric, send_data, self.hosts, cost, defer=True,
-            )
-        else:
-            raise ValueError(f"unknown reduce-scatter algorithm {algorithm!r}")
-        handle = ReduceScatterHandle(self, pending)
-        self._active[handle.coll_id] = handle
-        return handle
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.REDUCE_SCATTER, data=send_data,
+            algorithm=algorithm, cost=cost, segment_bytes=segment_bytes))
 
     def reduce_scatter(
         self,
@@ -928,20 +1328,189 @@ class Communicator:
                                       cost=cost, segment_bytes=segment_bytes)
         )
 
+    # ---------------------------------------------------------------- reduce
+
+    def _launch_reduce(
+        self,
+        send_data: Sequence[np.ndarray],
+        root: int,
+        cost: Optional[HostCostModel],
+        segment_bytes: int,
+    ) -> BaselineHandle:
+        from repro.core.baselines.reduce import inc_reduce
+
+        pending = inc_reduce(self.fabric, send_data, root, self.hosts, cost,
+                             segment_bytes=segment_bytes, defer=True)
+        return BaselineHandle(self, CollectiveKind.REDUCE, pending, root=root)
+
+    def reduce_async(
+        self,
+        send_data: Sequence[np.ndarray],
+        root: int,
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> BaselineHandle:
+        """Start a rooted Reduce on the INC substrate: every rank
+        contributes float32 data; rank *root* ends up with the full
+        reduced buffer (everyone else holds nothing)."""
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.REDUCE, data=send_data, root=root,
+            cost=cost, segment_bytes=segment_bytes))
+
+    def reduce(
+        self,
+        send_data: Sequence[np.ndarray],
+        root: int,
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> CollectiveResult:
+        """Rooted Reduce; runs the simulation to completion."""
+        return self._run_sync(
+            self.reduce_async(send_data, root, cost=cost,
+                              segment_bytes=segment_bytes)
+        )
+
+    # ------------------------------------------------------------- allreduce
+
+    def _launch_allreduce(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str,
+        cost: Optional[HostCostModel],
+        segment_bytes: int,
+    ) -> ComposedHandle:
+        if algorithm not in ("inc", "ring"):
+            raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+        arrays = [np.ascontiguousarray(d, dtype=np.float32).reshape(-1)
+                  for d in send_data]
+        elems = arrays[0].size
+        if any(a.size != elems for a in arrays):
+            raise ValueError("all contributions must have the same length")
+        if elems % self.size:
+            raise ValueError(
+                f"element count {elems} must divide into {self.size} shards")
+        shard_bytes = (elems // self.size) * 4
+        chunk = min(self.config.chunk_size, shard_bytes) if shard_bytes else 0
+        if self.size > 1 and shard_bytes % max(chunk, 1):
+            raise ValueError(
+                f"allreduce shard size {shard_bytes} must be a multiple of "
+                f"the chunk size {chunk} so the allgather phase stays "
+                "chunk-aligned")
+
+        def rs_phase(_prev) -> BaselineHandle:
+            return self._launch_reduce_scatter(arrays, algorithm, cost,
+                                               segment_bytes)
+
+        def ag_phase(rs_handle) -> OpHandle:
+            # The reduced float32 shards feed the allgather directly —
+            # byte-for-byte the buffers a manual RS → AG chain would pass.
+            return self._launch_allgather(rs_handle._finish().buffers)
+
+        return ComposedHandle(
+            self, CollectiveKind.ALLREDUCE,
+            [("reduce_scatter", rs_phase), ("allgather", ag_phase)],
+            send_bytes=elems * 4,
+        )
+
+    def allreduce_async(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str = "inc",
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> ComposedHandle:
+        """Start an Allreduce composed as reduce-scatter → allgather inside
+        one submission (paper Appendix B): the INC tree reduces and shards,
+        then the multicast engine gathers the reduced shards.  ``algorithm``
+        picks the reduce-scatter substrate ("inc" or "ring")."""
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.ALLREDUCE, data=send_data,
+            algorithm=algorithm, cost=cost, segment_bytes=segment_bytes))
+
+    def allreduce(
+        self,
+        send_data: Sequence[np.ndarray],
+        algorithm: str = "inc",
+        cost: Optional[HostCostModel] = None,
+        segment_bytes: int = 4096,
+    ) -> CollectiveResult:
+        """Allreduce; runs the simulation to completion."""
+        return self._run_sync(
+            self.allreduce_async(send_data, algorithm=algorithm, cost=cost,
+                                 segment_bytes=segment_bytes)
+        )
+
+    # -------------------------------------------------------------- alltoall
+
+    def _launch_alltoall(
+        self,
+        send_data: Sequence[np.ndarray],
+        cost: Optional[HostCostModel],
+        chunk_bytes: Optional[int],
+    ) -> BaselineHandle:
+        from repro.core.baselines.alltoall import p2p_alltoall
+        from repro.core.baselines.base import P2PNet
+
+        if chunk_bytes is None and self.size:
+            # Default to the communicator's chunking discipline when it
+            # divides the block evenly and fits the RC notification pool;
+            # otherwise fall back to one write per block.
+            nbytes = int(np.ascontiguousarray(send_data[0]).nbytes)
+            block = nbytes // self.size
+            c = min(self.config.chunk_size, block) if block else 0
+            if c and block % c == 0 and block // c <= P2PNet._DUMMY_POOL:
+                chunk_bytes = c
+        pending = p2p_alltoall(self.fabric, send_data, self.hosts, cost,
+                               chunk_bytes=chunk_bytes, defer=True)
+        return BaselineHandle(self, CollectiveKind.ALLTOALL, pending)
+
+    def alltoall_async(
+        self,
+        send_data: Sequence[np.ndarray],
+        cost: Optional[HostCostModel] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> BaselineHandle:
+        """Start an Alltoall (MoE expert-parallel traffic): ``send_data[r]``
+        holds P equal blocks; block *i* lands as block *r* of rank *i*'s
+        receive buffer.  Runs over unicast RC QPs with a rotation schedule
+        so the instantaneous traffic matrix stays a permutation."""
+        return self.submit(CollectiveRequest(
+            kind=CollectiveKind.ALLTOALL, data=send_data, cost=cost,
+            chunk_bytes=chunk_bytes))
+
+    def alltoall(
+        self,
+        send_data: Sequence[np.ndarray],
+        cost: Optional[HostCostModel] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> CollectiveResult:
+        """Alltoall; runs the simulation to completion."""
+        return self._run_sync(
+            self.alltoall_async(send_data, cost=cost, chunk_bytes=chunk_bytes)
+        )
+
     # ------------------------------------------------------------ execution
 
-    def run(self, *handles: Union[OpHandle, ReduceScatterHandle]) -> None:
+    def run(self, *handles: CollectiveHandle) -> None:
         """Advance the simulation until every handle completes."""
         targets = handles or tuple(self._active.values())
         self.sim.drain([ev for h in targets for ev in h.wait_events])
 
-    def release(self, handle: Union[OpHandle, ReduceScatterHandle]) -> None:
+    def release(self, handle: CollectiveHandle) -> None:
         """Free the op's registered buffers and id (after completion)."""
-        if handle.coll_id >= 0:  # RS handles own no engine-side state
-            for engine in self.engines:
-                engine.release_op(handle.coll_id)
-            self._op_procs.pop(handle.coll_id, None)
-        self._active.pop(handle.coll_id, None)
+        handle._release()
+        self._active.pop(handle.handle_id, None)
+
+    def ff_exclusive(self, coll_id: int) -> bool:
+        """True when engine op *coll_id* is the only collective in flight —
+        the flow-level fast-forward's single-collective gate (the fold
+        cannot serialize link contention between concurrent collectives).
+        A composed collective counts as exclusive while its *current* phase
+        is exactly this engine op."""
+        if len(self._active) != 1:
+            return False
+        (handle,) = tuple(self._active.values())
+        return handle.exclusive_coll_id() == coll_id
 
     def _snapshot(self) -> Dict[str, int]:
         return {
@@ -965,7 +1534,7 @@ class Communicator:
             "ff_aborts": ff.ff_aborts if ff is not None else 0,
         }
 
-    def _run_sync(self, handle: Union[OpHandle, ReduceScatterHandle]) -> CollectiveResult:
+    def _run_sync(self, handle: CollectiveHandle) -> CollectiveResult:
         before = self._snapshot()
         eng_before = self._engine_snapshot()
         self.run(handle)

@@ -16,9 +16,12 @@ from repro.models.footprint import ProtocolFootprint, communicators_fitting_llc
 from repro.models.memory import DEVICE_MEMORY, bitmap_bytes, max_receive_buffer
 from repro.models.speedup import (
     concurrent_speedup,
+    time_composed_allreduce,
+    time_inc_reduce_scatter,
     time_knomial_bcast,
     time_mcast_allgather,
     time_mcast_bcast,
+    time_p2p_alltoall,
     time_pipelined_tree_bcast,
     time_ring_allgather,
 )
@@ -34,9 +37,12 @@ __all__ = [
     "concurrent_speedup",
     "max_receive_buffer",
     "node_boundary_table",
+    "time_composed_allreduce",
+    "time_inc_reduce_scatter",
     "time_knomial_bcast",
     "time_mcast_allgather",
     "time_mcast_bcast",
+    "time_p2p_alltoall",
     "time_pipelined_tree_bcast",
     "time_ring_allgather",
 ]

@@ -27,6 +27,9 @@ __all__ = [
     "time_mcast_bcast",
     "time_knomial_bcast",
     "time_pipelined_tree_bcast",
+    "time_inc_reduce_scatter",
+    "time_composed_allreduce",
+    "time_p2p_alltoall",
 ]
 
 
@@ -77,6 +80,47 @@ def time_mcast_bcast(n: int, p: int, bandwidth: float, latency: float = 0.0,
                      sync_overhead: float = 0.0) -> float:
     """Constant-time Broadcast: one buffer serialization + tree depth."""
     return sync_overhead + n / bandwidth + latency
+
+
+def time_inc_reduce_scatter(n: int, p: int, bandwidth: float,
+                            latency: float = 0.0) -> float:
+    """INC reduce-scatter: every rank serializes its full N-byte
+    contribution into the reduction tree exactly once; the switches
+    reduce in-network, so the host uplink is the bottleneck direction
+    (Eq. 2's ``rs_send = (1 − 1/P)·B`` demand, normalized to a solo run).
+    """
+    if p < 2:
+        return 0.0
+    return n / bandwidth + latency
+
+
+def time_composed_allreduce(n: int, p: int, bandwidth: float,
+                            latency: float = 0.0, sync_overhead: float = 0.0,
+                            n_chains: int = 1) -> float:
+    """Allreduce composed as INC reduce-scatter chained into multicast
+    allgather over the reduced N/P shards (one submission, two phases).
+
+    The shard allgather's receive path absorbs ``P · (N/P) = N`` bytes,
+    so the composed total is ``2·N/B`` plus the latency terms — exactly
+    the bytes the concurrent Appendix B pair moves, serialized.  The
+    concurrent pair's advantage over it is the Eq. 3 bound
+    ``S = 2 − 2/P`` with respect to the ring pair, not this chain.
+    """
+    if p < 2:
+        return 0.0
+    shard = n / p
+    return (time_inc_reduce_scatter(n, p, bandwidth, latency)
+            + time_mcast_allgather(shard, p, bandwidth, latency,
+                                   sync_overhead, n_chains))
+
+
+def time_p2p_alltoall(n: int, p: int, bandwidth: float,
+                      latency: float = 0.0) -> float:
+    """Rotation-scheduled unicast all-to-all: ``(P−1)`` permutation steps,
+    each moving one ``N/P`` block per rank with no fan-in contention."""
+    if p < 2:
+        return 0.0
+    return (p - 1) * (n / p / bandwidth + latency)
 
 
 def time_knomial_bcast(n: int, p: int, radix: int, bandwidth: float,

@@ -422,11 +422,17 @@ class Fabric:
 
     def create_inc_tree(self, members: Sequence[int], rkey: int,
                         qpn_of: Dict[int, int], shard_bytes: int,
-                        segment_bytes: int = 4096):
-        """Program a SHARP-like reduction tree (see :mod:`repro.net.inc`)."""
+                        segment_bytes: int = 4096,
+                        root_host: Optional[int] = None):
+        """Program a SHARP-like reduction tree (see :mod:`repro.net.inc`).
+
+        ``root_host`` switches the tree from Reduce-Scatter ownership
+        (shard per member) to a rooted Reduce (one member owns the whole
+        reduced buffer)."""
         from repro.net.inc import IncTree
 
-        return IncTree(self, members, rkey, qpn_of, shard_bytes, segment_bytes)
+        return IncTree(self, members, rkey, qpn_of, shard_bytes, segment_bytes,
+                       root_host=root_host)
 
     def _dispatch_inc(self, switch, packet, in_port) -> None:
         tree = self._inc_trees.get(packet.mcast_gid)

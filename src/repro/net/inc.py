@@ -62,9 +62,15 @@ class IncTree:
         ``host → qpn`` of the QP whose receive queue consumes the
         down-going write-with-immediate notifications.
     shard_bytes:
-        Result bytes per member (the Reduce-Scatter output size).
+        Result bytes per member (the Reduce-Scatter output size), or —
+        with ``root_host`` set — the full reduced-buffer size.
     segment_bytes:
         Wire segment size (≤ MTU, multiple of 4 for float32).
+    root_host:
+        When set, the tree runs a *rooted* Reduce instead of a
+        Reduce-Scatter: every PSN's reduced segment is owned by this one
+        member, which receives the whole ``shard_bytes`` result while the
+        other members receive nothing.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class IncTree:
         qpn_of: Dict[int, int],
         shard_bytes: int,
         segment_bytes: int = 4096,
+        root_host: Optional[int] = None,
     ) -> None:
         if shard_bytes % 4 or segment_bytes % 4:
             raise ValueError("shard and segment sizes must be float32-aligned")
@@ -88,12 +95,16 @@ class IncTree:
         self.qpn_of = dict(qpn_of)
         self.shard_bytes = shard_bytes
         self.segment_bytes = segment_bytes
+        self.root_host = None if root_host is None else int(root_host)
+        if self.root_host is not None and self.root_host not in self.members:
+            raise ValueError(f"root host {self.root_host} is not a tree member")
         # Per-fabric allocation: the gid value picks the tree's spine root
         # (gid % n_cores), so a process-global counter would make event
         # schedules depend on how many trees *other* fabrics created.
         self.gid = next(fabric._inc_gid_counter)
         self.segs_per_shard = -(-shard_bytes // segment_bytes)
-        self.n_segments = self.segs_per_shard * len(self.members)
+        self.n_segments = self.segs_per_shard * (
+            1 if self.root_host is not None else len(self.members))
         #: (psn) → (count, accumulator) per switch name
         self._state: Dict[Tuple[str, int], Tuple[int, np.ndarray]] = {}
         self.roles: Dict[str, _SwitchRole] = {}
@@ -139,6 +150,8 @@ class IncTree:
         """``psn → (owner host, byte offset within the owner's shard)``."""
         if not 0 <= psn < self.n_segments:
             raise IndexError(f"psn {psn} out of range ({self.n_segments})")
+        if self.root_host is not None:
+            return self.root_host, psn * self.segment_bytes
         shard, seg = divmod(psn, self.segs_per_shard)
         return self.members[shard], seg * self.segment_bytes
 

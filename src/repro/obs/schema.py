@@ -44,6 +44,8 @@ TRACEPOINTS: Dict[str, Any] = {
     "cq.batch": ("i", "receiver consumed a CQE train in one wake (args: cqes)"),
     "staging.hold": ("C", "staging-ring slots held (received, not copied)"),
     # -- control plane ----------------------------------------------------
+    "comm.submit": ("i", "collective submitted on the unified surface "
+                         "(args: kind, handle)"),
     "seq.activate": ("i", "sequencer activation forwarded to successor"),
     "phase.sync": ("X", "collective start -> multicast group synced"),
     "phase.multicast": ("X", "sync done -> all data chunks landed"),

@@ -133,7 +133,9 @@ class FlowFastForward:
         sess = self._sessions.get(coll_id)
         if sess is None:
             # Coll-ids grow monotonically; prune finished collectives.
-            active = self.comm._active
+            # Engine op registration is the source of truth (handles are
+            # tracked by handle_id, not coll_id, since the submit redesign).
+            active = {c for e in self.comm.engines for c in e.ops}
             for cid in [c for c in self._sessions if c not in active]:
                 del self._sessions[cid]
             sess = self._sessions[coll_id] = _Session()
@@ -152,7 +154,7 @@ class FlowFastForward:
             return None
         if cfg.n_subgroups != 1 or cfg.transport not in ("ud", "uc"):
             return None
-        if len(comm._active) != 1 or op.coll_id not in comm._active:
+        if not comm.ff_exclusive(op.coll_id):
             return None
         if len(participants) < 2 or comm.size < 2:
             return None

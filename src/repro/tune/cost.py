@@ -24,7 +24,12 @@ from typing import Dict, List, Tuple
 
 from repro.models.boundary import node_boundary_table
 from repro.models.footprint import ProtocolFootprint
-from repro.models.speedup import time_mcast_allgather, time_mcast_bcast
+from repro.models.speedup import (
+    time_composed_allreduce,
+    time_mcast_allgather,
+    time_mcast_bcast,
+    time_p2p_alltoall,
+)
 from repro.net.topology import Topology
 from repro.tune.scenario import Scenario
 from repro.tune.store import config_from_knobs
@@ -112,6 +117,18 @@ def predict_time(scenario: Scenario, knobs: Dict[str, object]) -> CostEstimate:
         wire = time_mcast_allgather(
             n * header_factor, p, bandwidth, latency=0.0, n_chains=cfg.n_chains)
         recv_bytes = boundary.recv
+    elif scenario.collective == "allreduce":
+        # INC reduce-scatter serializes the full contribution up the tree,
+        # then the multicast allgather redistributes the N/P shards — the
+        # composed chain moves ~2N through the bottleneck NIC.
+        wire = time_composed_allreduce(
+            n * header_factor, p, bandwidth, n_chains=cfg.n_chains)
+        recv_bytes = n
+    elif scenario.collective == "alltoall":
+        # Rotation-scheduled unicast: (P−1) permutation steps of one
+        # N/P block each; receive and send demands are symmetric.
+        wire = time_p2p_alltoall(n * header_factor, p, bandwidth)
+        recv_bytes = n - n // p
     else:
         wire = time_mcast_bcast(n * header_factor, p, bandwidth)
         recv_bytes = n
@@ -141,7 +158,13 @@ def predict_time(scenario: Scenario, knobs: Dict[str, object]) -> CostEstimate:
     if scenario.collective == "allgather":
         steps = math.ceil(p / max(cfg.n_chains, 1))
         sequencing = steps * step
+    elif scenario.collective == "allreduce":
+        # One INC-tree completion barrier, then the shard allgather's
+        # chain activations.
+        steps = math.ceil(p / max(cfg.n_chains, 1))
+        sequencing = (steps + 1) * step
     else:
+        # broadcast's start barrier / alltoall's rotation kickoff
         sequencing = step
 
     # --- pipeline fill: assembling the first send batch before the
@@ -154,7 +177,9 @@ def predict_time(scenario: Scenario, knobs: Dict[str, object]) -> CostEstimate:
     # fetch round-trip on the reliable ring (§III-C).
     loss = EFFECTIVE_LOSS[scenario.fault_profile]
     recovery = 0.0
-    if loss > 0.0:
+    # alltoall rides reliable RC queue pairs — the UD cutoff/fetch slow
+    # path never arms, so lossy keys add no expected-recovery term.
+    if loss > 0.0 and scenario.collective != "alltoall":
         total_chunks = (p if scenario.collective == "allgather" else 1) * n / chunk
         expected_lost = loss * total_chunks
         slack = (cfg.cutoff_alpha_min if cfg.adaptive_cutoff
@@ -166,7 +191,7 @@ def predict_time(scenario: Scenario, knobs: Dict[str, object]) -> CostEstimate:
     # sender block RNR-drop under bursts; scale a mild premium by the
     # shortfall against the Fig 3 receive burst of one chunk per peer.
     staging_risk = 0.0
-    if not uc:
+    if not uc and scenario.collective != "alltoall":
         fp = ProtocolFootprint(
             recv_buffer_bytes=n * (p if scenario.collective == "allgather" else 1),
             chunk_bytes=chunk,

@@ -96,6 +96,12 @@ def evaluate(
     if scenario.collective == "broadcast":
         result = comm.broadcast(0, payloads[0])
         verified = result.verify_broadcast(payloads[0])
+    elif scenario.collective == "allreduce":
+        result = comm.allreduce(payloads, algorithm="inc")
+        verified = result.verify_allreduce(payloads)
+    elif scenario.collective == "alltoall":
+        result = comm.alltoall(payloads)
+        verified = result.verify_alltoall(payloads)
     else:
         result = comm.allgather(payloads)
         verified = result.verify_allgather(payloads)

@@ -28,7 +28,13 @@ from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.units import gbit_per_s
 
-__all__ = ["CRASH_PROFILES", "FAULT_PROFILES", "Scenario", "size_bucket"]
+__all__ = ["CRASH_PROFILES", "FAULT_PROFILES", "Scenario",
+           "TUNABLE_COLLECTIVES", "size_bucket"]
+
+#: collectives the tuner can key a profile on.  ``allreduce`` runs the
+#: composed RS→AG submission; ``alltoall`` runs the rotation-scheduled
+#: unicast exchange — both through ``Communicator.submit``.
+TUNABLE_COLLECTIVES = ("broadcast", "allgather", "allreduce", "alltoall")
 
 #: bump when the key layout changes — old cache entries then miss cleanly
 KEY_SCHEMA_VERSION = 1
@@ -83,7 +89,7 @@ class Scenario:
     evaluator runs.
     """
 
-    collective: str = "allgather"  #: 'broadcast' | 'allgather'
+    collective: str = "allgather"  #: one of :data:`TUNABLE_COLLECTIVES`
     n_hosts: int = 16
     topo: str = "auto"  #: a make_fabric topology name ('auto' resolves)
     link_gbit: float = 56.0
@@ -97,7 +103,7 @@ class Scenario:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.collective not in ("broadcast", "allgather"):
+        if self.collective not in TUNABLE_COLLECTIVES:
             raise ValueError(f"unknown collective {self.collective!r}")
         if self.transport not in ("ud", "uc"):
             raise ValueError(f"unknown transport {self.transport!r}")
@@ -215,9 +221,26 @@ class Scenario:
         return [] if factory is None else factory(self)
 
     def make_payload(self) -> List[np.ndarray]:
-        """Seeded per-rank payloads (broadcast uses element 0)."""
+        """Seeded per-rank payloads.
+
+        broadcast: one buffer (element 0); allgather: P uint8 shards;
+        allreduce: P float32 contributions, element count rounded down to
+        a multiple of P so the reduce-scatter shards evenly; alltoall:
+        P per-rank buffers of P equal blocks, total rounded down to a
+        multiple of P.  ``msg_bytes`` stays the *nominal* per-rank size —
+        the bucket key is unaffected by the divisibility rounding.
+        """
         rng = np.random.default_rng(self.seed)
-        count = self.n_hosts if self.collective == "allgather" else 1
+        p = self.n_hosts
+        if self.collective == "allreduce":
+            elems = max(self.msg_bytes // 4 // p, 1) * p
+            return [rng.normal(size=elems).astype(np.float32)
+                    for _ in range(p)]
+        if self.collective == "alltoall":
+            nbytes = max(self.msg_bytes // p, 1) * p
+            return [rng.integers(0, 256, nbytes, dtype=np.uint8)
+                    for _ in range(p)]
+        count = p if self.collective == "allgather" else 1
         return [rng.integers(0, 256, self.msg_bytes, dtype=np.uint8)
                 for _ in range(count)]
 

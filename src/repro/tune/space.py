@@ -77,9 +77,11 @@ class SearchSpace:
         ) or (min(BASE_CHUNK, n),)
         max_par = max(1, n // max(chunks))
         subgroups = tuple(s for s in (1, 2, 4) if s <= max_par)
+        # Chain count matters wherever the multicast allgather engine runs:
+        # plain allgather and the allgather phase of the composed allreduce.
         chains = (
             tuple(m for m in (1, 2, 4) if m <= scenario.n_hosts)
-            if scenario.collective == "allgather" else (1,)
+            if scenario.collective in ("allgather", "allreduce") else (1,)
         )
         domains = {
             "chunk_size": KnobDomain("chunk_size", chunks),
@@ -118,8 +120,20 @@ class SearchSpace:
         chunk = int(knobs.get("chunk_size", BASE_CHUNK))
         if scn.collective == "allgather" and scn.bucket % chunk != 0:
             return False
+        if scn.collective == "allreduce":
+            # The allgather phase runs over the reduced N/P shards, so
+            # its chunk alignment (and the per-subgroup minimum) is
+            # against the shard, not the full contribution — mirror the
+            # eager check in Communicator._launch_allreduce.
+            shard = max(scn.bucket // 4 // scn.n_hosts, 1) * 4
+            eff = min(chunk, shard)
+            if shard % eff != 0:
+                return False
+            block = shard
+        else:
+            block = scn.bucket
         # Every subgroup must carry at least one chunk of a sender's block.
-        chunks_per_rank = max(scn.bucket // chunk, 1)
+        chunks_per_rank = max(block // min(chunk, block), 1)
         if int(knobs.get("n_subgroups", 1)) > chunks_per_rank:
             return False
         if int(knobs.get("n_chains", 1)) > scn.n_hosts:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.baselines import ring_allgather, ring_reduce_scatter
 from repro.core.communicator import CollectiveConfig, Communicator
+from repro.core.request import CollectiveKind, CollectiveRequest
 from repro.core.costmodel import HostCostModel
 from repro.net.fabric import Fabric
 
@@ -92,12 +93,17 @@ def run_concurrent_pair(
             )
         ag_dur, rs_dur = ag_res.duration, rs_res.duration
     elif mode == "optimal":
-        # Both collectives run through the one Communicator surface: the
+        # Both collectives run through the unified submission surface: the
         # multicast AG engine and the INC RS substrate started together,
-        # drained by a single run() over the pair.
+        # drained by a single run() over the pair.  (submit() is asserted
+        # bit-identical in virtual time to the old *_async composition by
+        # tests/test_submit_api.py.)
         comm = Communicator(fabric, hosts, config)
-        ag = comm.allgather_async(ag_data)
-        rs = comm.reduce_scatter_async(rs_data, algorithm="inc", cost=cost)
+        ag = comm.submit(CollectiveRequest(
+            kind=CollectiveKind.ALLGATHER, data=ag_data))
+        rs = comm.submit(CollectiveRequest(
+            kind=CollectiveKind.REDUCE_SCATTER, data=rs_data,
+            algorithm="inc", cost=cost))
         comm.run(ag, rs)
         rs_res = rs.result()
         ag_res = ag.result()

@@ -72,7 +72,7 @@ def test_many_communicators_run_on_one_fabric():
         data = [np.full(8192, 10 * i + r, dtype=np.uint8) for r in range(3)]
         datasets.append(data)
         handles.append(comm.allgather_async(data))
-    sim.drain([h.done for h in handles])
+    sim.drain([h.done_event for h in handles])
     for handle, data in zip(handles, datasets):
         assert handle.result().verify_allgather(data)
 

@@ -452,6 +452,71 @@ def test_ff_off_is_default() -> None:
         CollectiveConfig(fast_forward="bogus").validate(fabric)
 
 
+# ---------------------------------------------------------------------------
+# Unified-submission kinds (allreduce = INC RS → multicast AG composed in
+# one submission; alltoall = RC rotation schedule).  Both fast paths —
+# packet-train coalescing and receiver batching — must stay bit-identical
+# on these kinds across the same clean/lossy/straggler × {ud, uc} axes as
+# the engine kinds above.  (The transports govern the allgather phase of
+# allreduce; the RC substrate of alltoall and the reduce-scatter phase is
+# transport-invariant by construction, which the axis also proves.)
+# ---------------------------------------------------------------------------
+
+
+def _run_submit_kind(kind: str, seed: int, coalescing: bool,
+                     fault_factory=None, transport: str = "ud",
+                     recv_batching: bool = True, straggler=None):
+    comm = _make_comm(seed, coalescing, fault_factory, transport,
+                      recv_batching, straggler)
+    rng = np.random.default_rng(seed)
+    if kind == "allreduce":
+        data = [rng.normal(size=P * 1024).astype(np.float32)
+                for _ in range(P)]
+        res = comm.allreduce(data, algorithm="inc")
+        assert res.verify_allreduce(data)
+    else:
+        data = [rng.integers(0, 256, 16 * KiB, dtype=np.uint8)
+                for _ in range(P)]
+        res = comm.alltoall(data)
+        assert res.verify_alltoall(data)
+    return comm, res
+
+
+_SUBMIT_CONDITIONS = {
+    "clean": {},
+    "lossy": {"fault_factory": _lossy},
+    "straggler": {"straggler": (3, StragglerSpec(
+        windows=[(0.0, 1e-3)], extra_poll_delay=300e-9))},
+}
+
+
+@pytest.mark.parametrize("kind", ["allreduce", "alltoall"])
+@pytest.mark.parametrize("condition", sorted(_SUBMIT_CONDITIONS))
+@pytest.mark.parametrize("transport", ["ud", "uc"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_submit_kind_fastpath_equivalence(kind: str, condition: str,
+                                          transport: str, seed: int) -> None:
+    kw = _SUBMIT_CONDITIONS[condition]
+    comm_ref, res_ref = _run_submit_kind(kind, seed, True,
+                                         transport=transport, **kw)
+    variants = [
+        _run_submit_kind(kind, seed, False, transport=transport, **kw),
+        _run_submit_kind(kind, seed, True, transport=transport,
+                         recv_batching=False, **kw),
+    ]
+    ref_phases = [(ph.name, ph.t_begin, ph.t_end) for ph in res_ref.phases]
+    for comm_v, res_v in variants:
+        assert res_v.t_begin == res_ref.t_begin
+        assert res_v.t_end == res_ref.t_end
+        assert res_v.duration == res_ref.duration
+        assert [(ph.name, ph.t_begin, ph.t_end)
+                for ph in res_v.phases] == ref_phases
+        assert _channel_counters(comm_v.fabric) == _channel_counters(comm_ref.fabric)
+        assert _switch_counters(comm_v.fabric) == _switch_counters(comm_ref.fabric)
+        for bv, br in zip(res_v.buffers, res_ref.buffers):
+            assert np.array_equal(bv, br)
+
+
 def test_coalescing_toggle_mid_simulation() -> None:
     """set_coalescing() flips every channel and is honored immediately."""
     comm = _make_comm(0, True)

@@ -255,6 +255,6 @@ def test_two_communicators_share_fabric():
     d2 = [np.full(8192, 100 + r, dtype=np.uint8) for r in range(4)]
     h1 = c1.allgather_async(d1)
     h2 = c2.allgather_async(d2)
-    sim.drain([h1.done, h2.done])
+    sim.drain([h1.done_event, h2.done_event])
     assert h1.result().verify_allgather(d1)
     assert h2.result().verify_allgather(d2)

@@ -306,7 +306,10 @@ def test_reduce_scatter_async_handle_protocol():
     comm = Communicator(_plain_fabric())
     handle = comm.reduce_scatter_async(_rs_data(8))
     assert not handle.complete
-    assert handle.coll_id < 0  # RS ids never collide with engine imm space
+    # Baseline handles carry no immediate-data coll_id (the old negative-id
+    # convention is gone); they are tracked by handle_id instead.
+    assert handle.coll_id is None
+    assert handle.handle_id >= 0
     comm.run(handle)
     assert handle.complete
     res = handle.result()
@@ -325,8 +328,8 @@ def test_traced_reduce_scatter_carries_view():
 def test_collective_kind_rejects_unknown(lossy_traced):
     _, res = lossy_traced
     with pytest.raises(ValueError):
-        CollectiveKind("allreduce")
-    bogus = dataclasses.replace(res, kind="allreduce")
+        CollectiveKind("scan")
+    bogus = dataclasses.replace(res, kind="scan")
     with pytest.raises(ValueError):
         bogus.throughput
     with pytest.raises(ValueError):

@@ -63,7 +63,7 @@ def test_cache_key_deterministic_and_seed_independent():
 
 def test_scenario_rejects_unknown_members():
     with pytest.raises(ValueError):
-        Scenario(collective="allreduce")
+        Scenario(collective="scan")
     with pytest.raises(ValueError):
         Scenario(transport="rc")
     with pytest.raises(ValueError):
@@ -169,6 +169,57 @@ def test_evaluate_without_trace_same_virtual_time():
     untraced = evaluate(TINY, knobs, trace=False)
     assert untraced.duration == traced.duration
     assert untraced.link_util_peak == 0.0  # metrics need the tracer
+
+
+TINY_AR = Scenario(collective="allreduce", n_hosts=8, topo="star",
+                   msg_bytes=64 * KiB, seed=0)
+TINY_A2A = Scenario(collective="alltoall", n_hosts=8, topo="star",
+                    msg_bytes=64 * KiB, seed=0)
+
+
+def test_new_kinds_key_cleanly_and_evaluate():
+    """allreduce/alltoall are first-class tuning keys: distinct digests,
+    collective-named slugs, and evaluations that run (and verify) through
+    the unified submission surface."""
+    for scn in (TINY_AR, TINY_A2A):
+        assert scn.cache_key() != TINY.cache_key()
+        assert scn.collective in scn.slug()
+        m = evaluate(scn, SearchSpace.default(scn).baseline_knobs())
+        assert m.verified
+        assert m.duration > 0 and m.sim_events > 0
+        # Bit-reproducible like the engine kinds.
+        assert evaluate(scn, SearchSpace.default(scn).baseline_knobs()) == m
+
+
+def test_allreduce_space_is_shard_aligned():
+    """Candidate chunks must keep the allgather-over-shards phase
+    chunk-aligned: every enumerated point satisfies the same eager check
+    Communicator._launch_allreduce applies."""
+    space = SearchSpace.default(TINY_AR)
+    cands = space.candidates()
+    assert cands
+    shard = (TINY_AR.bucket // 4 // TINY_AR.n_hosts) * 4
+    for knobs in cands:
+        chunk = int(knobs["chunk_size"])
+        assert shard % min(chunk, shard) == 0
+    # Chains search the allgather phase of the composed collective...
+    assert any(int(k["n_chains"]) > 1 for k in cands)
+    # ...while alltoall has no chain machinery to search.
+    assert all(int(k["n_chains"]) == 1
+               for k in SearchSpace.default(TINY_A2A).candidates())
+
+
+def test_autotune_allreduce_key_roundtrip(tmp_path):
+    """The CI tune-smoke contract for the new kind: search once, then a
+    byte-identical pure cache hit on the same allreduce key."""
+    store = ProfileStore(str(tmp_path))
+    first = autotune(TINY_AR, store=store, max_evals=2)
+    assert not first.cache_hit
+    assert first.profile.key["collective"] == "allreduce"
+    second = autotune(TINY_AR, store=store, max_evals=2)
+    assert second.cache_hit
+    assert second.evaluations == 0 and second.sim_events == 0
+    assert second.profile.to_json() == first.profile.to_json()
 
 
 # ------------------------------------------------------------ search + store

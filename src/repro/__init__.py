@@ -53,7 +53,8 @@ from repro.core.reliability import (
 from repro.net.fabric import Fabric
 from repro.net.faults import CrashSpec, GilbertElliott, StragglerSpec, Window
 from repro.net.link import FaultSpec
-from repro.net.topology import Topology, TopologySpec
+from repro.net.topology import Topology, TopologyError, TopologySpec
+from repro.net.plan import MulticastPlan, plan_mcast
 from repro.obs import TraceConfig, Tracer, TraceView
 from repro.sim.engine import Simulator, WatchdogError
 from repro.sim.random import RandomStreams
@@ -88,8 +89,11 @@ __all__ = [
     "ReliabilityError",
     "Simulator",
     "StragglerSpec",
+    "MulticastPlan",
     "Topology",
+    "TopologyError",
     "TopologySpec",
+    "plan_mcast",
     "TraceConfig",
     "Tracer",
     "TraceView",

@@ -24,11 +24,14 @@ def make_fabric(
     link_gbit: float = 56.0,
     mtu: int = 4096,
     seed: int = 0,
+    topo_params: Optional[dict] = None,
 ) -> Fabric:
     """A fresh simulator + fabric for one benchmark run.
 
     ``topo='auto'`` picks a star for tiny clusters, the paper's 188-node
     testbed shape when asked for 188 hosts, and a leaf-spine otherwise.
+    Zoo kinds (``torus``/``dragonfly``/``multi_rail``/…) route through
+    :class:`~repro.net.topology.TopologySpec` with ``topo_params``.
     ``mtu`` doubles as the *simulation granularity* knob: benches that only
     need byte-accurate traffic or large-message timing raise it so one
     simulated packet stands for many wire packets (documented per bench).
@@ -48,7 +51,8 @@ def make_fabric(
     elif topo == "back_to_back":
         topology = Topology.back_to_back()
     else:
-        raise ValueError(f"unknown topo {topo!r}")
+        from repro.net.topology import TopologySpec
+        topology = TopologySpec(topo, n_hosts, dict(topo_params or {})).build()
     return Fabric(
         Simulator(),
         topology,

@@ -933,7 +933,12 @@ class Communicator:
         self._op_procs: Dict[int, List[tuple]] = {}
         self._repair_key = None
         self._repair_track = None
+        #: rail currently carrying the RC control plane (multi-rail only;
+        #: migrated by the SM sweep when its plane stops spanning the
+        #: survivors — IB-style automatic path migration)
+        self._ctrl_rail = 0
         fabric.on_crash(self._on_fabric_crash)
+        fabric.sweep_listeners.append(self._on_sm_sweep)
         self.sim.add_watchdog_diagnostic(self._watchdog_diagnostic)
 
     # ------------------------------------------------------------- plumbing
@@ -948,8 +953,10 @@ class Communicator:
         if qp is not None:
             return qp
         ea, eb = self.engines[a], self.engines[b]
-        qa = ea.nic.create_qp(Transport.RC, recv_cq=ea.ctrl.recv_cq)
-        qb = eb.nic.create_qp(Transport.RC, recv_cq=eb.ctrl.recv_cq)
+        # Create on the control plane's *current* NIC — after a rail
+        # migration, lazily-created pairs must land on the surviving plane.
+        qa = ea.ctrl.nic.create_qp(Transport.RC, recv_cq=ea.ctrl.recv_cq)
+        qb = eb.ctrl.nic.create_qp(Transport.RC, recv_cq=eb.ctrl.recv_cq)
         qa.connect(self.host_of(b), qb.qpn)
         qb.connect(self.host_of(a), qa.qpn)
         ea.ctrl.adopt_qp(b, qa)
@@ -993,6 +1000,56 @@ class Communicator:
         for handle in list(self._active.values()):
             handle.on_crash(rank)
 
+    def _on_sm_sweep(self) -> None:
+        """SM sweep listener (multi-rail only): when the plane carrying the
+        RC control plane no longer spans the surviving hosts, migrate every
+        survivor's control QPs to the lowest plane that does — the model's
+        analogue of IB automatic path migration, driven by the omniscient
+        subnet manager rather than the (now partitioned) control plane
+        itself.  Data-plane subgroup QPs follow their group's re-planned
+        rail in the same pass, so a whole-plane death heals end to end:
+        sweep re-plans trees onto survivors, this listener re-homes QPs,
+        and cutoff/fetch recovery re-delivers what the dead plane ate."""
+        topo = self.fabric.topology
+        if topo.rails <= 1 or not self.engines:
+            return
+        live = [r for r in self.survivors
+                if not self.fabric.host_isolated(self.hosts[r])]
+        if len(live) >= 2:
+            dead = self.fabric.dead_node_names()
+            rail = topo.connected_rail(
+                [self.hosts[r] for r in live], dead, prefer=self._ctrl_rail)
+            if rail is not None and rail != self._ctrl_rail:
+                self._migrate_ctrl_plane(rail, live)
+        # Groups may have been re-planned onto another rail by the sweep.
+        for r in live:
+            for sg in range(len(self.mcast_gids)):
+                self.engines[r].rebind_subgroup(sg)
+
+    def _migrate_ctrl_plane(self, rail: int, live: List[int]) -> None:
+        """Re-home every live rank's control QPs onto *rail*'s NIC and
+        re-connect the pairs with their migrated QPNs (both ends move —
+        planes only meet at hosts, so a half-migrated pair is unroutable)."""
+        live_set = set(live)
+        for r in live:
+            eng = self.engines[r]
+            nic = self.fabric.rail_nic(self.hosts[r], rail)
+            for qp in eng.ctrl.qps.values():
+                nic.adopt_qp(qp)
+            eng.ctrl.nic = nic
+        for r in live:
+            for peer, qp in self.engines[r].ctrl.qps.items():
+                if peer in live_set:
+                    peer_qp = self.engines[peer].ctrl.qps.get(r)
+                    if peer_qp is not None:
+                        qp.connect(self.hosts[peer], peer_qp.qpn)
+        self._ctrl_rail = rail
+        if self.tracer is not None:
+            if self._repair_track is None:
+                self._repair_track = self.tracer.track("comm", "repair")
+            self._repair_track.instant(
+                "repair.ctrl_migrate", self.sim.now, {"rail": rail})
+
     def note_death(self, rank: int) -> None:
         """Protocol-level death confirmation (called by a survivor's engine
         after probes went unanswered).  Idempotent."""
@@ -1011,11 +1068,28 @@ class Communicator:
             return
         self._repair_key = key
         self.fabric.reroute_unicast()
-        live_hosts = [self.hosts[r] for r in self.survivors]
+        # Hosts orphaned by an access-switch death are unreachable even
+        # though their rank is not (yet) confirmed dead — planning around
+        # them now keeps the surviving tree spanning; the liveness
+        # protocol confirms their death and re-repairs afterwards.
+        live_hosts = [self.hosts[r] for r in self.survivors
+                      if not self.fabric.host_isolated(self.hosts[r])]
         exclude = self.fabric.dead_node_names()
         for gid in self.mcast_gids:
             if len(live_hosts) >= 2:
-                self.fabric.rebuild_mcast_group(gid, live_hosts, exclude)
+                try:
+                    self.fabric.rebuild_mcast_group(gid, live_hosts, exclude)
+                except ValueError:
+                    # Partitioned group (no surviving tree spans the
+                    # members): leave the stale tree; the collective layer
+                    # degrades or aborts through the normal policy.
+                    pass
+        if self.fabric.topology.rails > 1:
+            # A re-plan may have failed a group over to a surviving plane
+            # (whole-rail death): migrate survivors' QPs to the new rail.
+            for r in self.survivors:
+                for sg in range(len(self.mcast_gids)):
+                    self.engines[r].rebind_subgroup(sg)
         if self.tracer is not None:
             if self._repair_track is None:
                 self._repair_track = self.tracer.track("comm", "repair")

@@ -92,15 +92,27 @@ class RankEngine:
         self.sub_qps = []
         self.stagings: List[Optional[StagingRing]] = []
         self._dummy_mr = self.nic.memory.register(1)  # zero-length UC recvs
+        host = comm.host_of(rank)
         for sg in range(cfg.n_subgroups):
-            qp = self.nic.create_qp(
+            # Each subgroup's QP lives on the NIC of the plane its
+            # multicast group was planned into (rail 0 everywhere on
+            # single-rail fabrics — same NIC object as before, so the
+            # single-rail datapath is untouched).
+            if comm.size >= 2:
+                gid = comm.mcast_gids[sg]
+                nic_sg = comm.fabric.rail_nic(
+                    host, comm.fabric.mcast_groups[gid].rail)
+            else:
+                gid = None
+                nic_sg = self.nic
+            qp = nic_sg.create_qp(
                 Transport.UC if uc else Transport.UD,
                 send_cq=self.send_cq,
-                recv_cq=self.nic.create_cq(f"recv-r{rank}-sg{sg}"),
+                recv_cq=nic_sg.create_cq(f"recv-r{rank}-sg{sg}"),
                 max_recv_wr=max(cfg.staging_slots, 16),
             )
-            if comm.size >= 2:
-                qp.attach_mcast(comm.mcast_gids[sg])
+            if gid is not None:
+                qp.attach_mcast(gid)
             if uc:
                 # UC places data directly; receives only consume immediates.
                 qp.post_recv_batch([
@@ -109,7 +121,7 @@ class RankEngine:
                 ])
                 self.stagings.append(None)
             else:
-                ring = StagingRing(self.nic, cfg.staging_slots, cfg.chunk_size)
+                ring = StagingRing(nic_sg, cfg.staging_slots, cfg.chunk_size)
                 ring.prime(qp)
                 self.stagings.append(ring)
             self.sub_qps.append(qp)
@@ -192,6 +204,26 @@ class RankEngine:
             self._fetch_proc.kill()
         if self.ctrl._dispatch_proc.alive:
             self.ctrl._dispatch_proc.kill()
+
+    def rebind_subgroup(self, sg: int) -> None:
+        """Re-home subgroup *sg*'s QP after a plan rail migration.
+
+        When a whole plane dies, the planner fails the group over to a
+        surviving rail; the QP object (receive queue, CQs, staging — all
+        backed by the host's shared Memory) migrates to that rail's NIC
+        so replays and future traffic flow through the surviving plane.
+        No-op while the group stays on its original rail.
+        """
+        gids = self.comm.mcast_gids
+        if sg >= len(gids):
+            return
+        group = self.fabric.mcast_groups.get(gids[sg])
+        if group is None or group.plan is None:
+            return
+        nic = self.fabric.rail_nic(self.nic.host, group.plan.rail)
+        qp = self.sub_qps[sg]
+        if qp.nic is not nic:
+            nic.adopt_qp(qp)
 
     # ------------------------------------------------------------- op table
 
@@ -563,7 +595,18 @@ class RankEngine:
                     items.append((qp, wr))
                 # One doorbell for the whole batch: lets the NIC serialize
                 # consecutive same-destination WRs as a single packet train.
-                self.nic.post_send_batch(items)
+                if self.fabric.topology.rails == 1:
+                    self.nic.post_send_batch(items)
+                else:
+                    # Multi-rail: each WR leaves through the NIC its QP
+                    # lives on; partition preserving per-NIC order (the
+                    # planes are independent, so cross-NIC order is
+                    # immaterial at this single posting instant).
+                    per_nic: Dict[object, list] = {}
+                    for item in items:
+                        per_nic.setdefault(item[0].nic, []).append(item)
+                    for nic, sub in per_nic.items():
+                        nic.post_send_batch(sub)
                 outstanding += 1
                 trc = self.trace
                 if trc is not None:
@@ -964,7 +1007,14 @@ class RankEngine:
             src = ranks[(me - k) % p]
             key = (tag << 6) | rnd
             self.ctrl.send(dst, MSG_BARRIER, key)
-            yield from self._recv_live(op, ranks, MSG_BARRIER, key, src, "sync")
+            # Escalation: a barrier token black-holed by a switch that died
+            # mid-barrier (before the SM sweep reroutes) is lost forever —
+            # RC retransmission is not modeled.  Once probes confirm the
+            # peer alive, proceed without the token; if it genuinely has
+            # not arrived yet, the cutoff/fetch recovery heals any chunks
+            # multicast before its windows were posted.
+            yield from self._recv_live(op, ranks, MSG_BARRIER, key, src,
+                                       "sync", escalate_live=3)
             k <<= 1
             rnd += 1
 

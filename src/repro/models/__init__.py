@@ -25,11 +25,19 @@ from repro.models.speedup import (
     time_pipelined_tree_bcast,
     time_ring_allgather,
 )
-from repro.models.traffic import FatTreeTraffic
+from repro.models.traffic import (
+    DragonflyTraffic,
+    FatTreeTraffic,
+    MultiRailTraffic,
+    TorusTraffic,
+)
 
 __all__ = [
     "DEVICE_MEMORY",
+    "DragonflyTraffic",
     "FatTreeTraffic",
+    "MultiRailTraffic",
+    "TorusTraffic",
     "NodeBoundary",
     "ProtocolFootprint",
     "communicators_fitting_llc",

@@ -36,7 +36,14 @@ from repro.net.nic import (
     SendWR,
     Transport,
 )
-from repro.net.topology import Topology, TopologySpec
+from repro.net.topology import Topology, TopologyError, TopologySpec
+from repro.net.plan import (
+    MulticastPlan,
+    PlanError,
+    plan_mcast,
+    validate_disjointness,
+    validate_plan,
+)
 from repro.net.fabric import Fabric
 
 __all__ = [
@@ -49,17 +56,23 @@ __all__ = [
     "GilbertElliott",
     "Memory",
     "MemoryRegion",
+    "MulticastPlan",
     "Nic",
     "Opcode",
     "Packet",
     "PacketKind",
+    "PlanError",
     "QueuePair",
     "RecvWR",
     "SendWR",
     "StragglerSpec",
     "Switch",
     "Topology",
+    "TopologyError",
     "Window",
     "TopologySpec",
     "Transport",
+    "plan_mcast",
+    "validate_disjointness",
+    "validate_plan",
 ]

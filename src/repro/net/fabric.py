@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 from repro.net.faults import CrashSpec, StragglerSpec
 from repro.net.link import Channel, FaultSpec
 from repro.net.nic import Nic
+from repro.net.plan import MulticastPlan, plan_mcast
 from repro.net.switch import Switch
 from repro.net.topology import Topology, host_id, host_name, is_host
 from repro.sim.random import RandomStreams
@@ -41,6 +42,13 @@ class McastGroup:
     gid: int
     members: Set[int]
     tree: Dict[str, Set[str]]
+    #: the planner output the tree was programmed from (root, rail, chain
+    #: hints); ``tree`` stays the source the switches were programmed with
+    plan: Optional[MulticastPlan] = None
+
+    @property
+    def rail(self) -> int:
+        return self.plan.rail if self.plan is not None else 0
 
 
 class Fabric:
@@ -111,6 +119,11 @@ class Fabric:
         #: crash landing mid-fold would invalidate the analytic advance
         self.pending_crashes: Set[CrashSpec] = set()
         self._crash_listeners: list = []
+        #: callbacks invoked after every SM failure sweep (routes and
+        #: multicast trees already repaired) — the communicator hooks its
+        #: control-plane/QP rail migration here, mirroring IB's SM-assisted
+        #: automatic path migration
+        self.sweep_listeners: list = []
         #: delay between a switch/link hard-down and the subnet manager's
         #: automatic re-sweep (reroute + multicast tree rebuild).  Host
         #: crashes do not trigger a sweep: routes through a dead host's
@@ -124,8 +137,20 @@ class Fabric:
         self._inc_trees: Dict[int, object] = {}
 
         # --- build nodes ---
+        #: host → per-rail NICs (index = rail); ``nics[h]`` stays the
+        #: rail-0 NIC so every single-rail caller is untouched.  Rail
+        #: NICs of one host share its Memory: an MR registered once is
+        #: addressable from any plane, as with real multi-port HCAs.
+        self.rail_nics: Dict[int, list] = {}
         for h in range(topology.n_hosts):
-            self.nics[h] = Nic(sim, h, self, mtu=mtu, header_bytes=header_bytes)
+            nic0 = Nic(sim, h, self, mtu=mtu, header_bytes=header_bytes)
+            per_rail = [nic0]
+            for r in range(1, topology.rails):
+                per_rail.append(Nic(sim, h, self, mtu=mtu,
+                                    header_bytes=header_bytes,
+                                    memory=nic0.memory, rail=r))
+            self.nics[h] = nic0
+            self.rail_nics[h] = per_rail
         for name in topology.switch_names:
             self.switches[name] = Switch(sim, name, forwarding_delay=switch_delay)
 
@@ -142,9 +167,9 @@ class Fabric:
 
     # ------------------------------------------------------------- wiring
 
-    def _node(self, name: str):
+    def _node(self, name: str, rail: int = 0):
         if is_host(name):
-            return self.nics[host_id(name)]
+            return self.rail_nics[host_id(name)][rail]
         return self.switches[name]
 
     def _make_channel(self, src: str, dst: str) -> None:
@@ -152,11 +177,12 @@ class Fabric:
         if self._default_fault is not None:
             # Each channel gets its own copy so counters/seq state differ.
             fault = self._default_fault.clone()
+        rail = self.topology.rail_of_edge(src, dst)
         ch = Channel(
             self.sim,
             src,
             dst,
-            self._node(dst),
+            self._node(dst, rail),
             bandwidth=self.link_bandwidth,
             latency=self.link_latency,
             fault=fault,
@@ -165,7 +191,7 @@ class Fabric:
         )
         self.channels[(src, dst)] = ch
         if is_host(src):
-            self.nics[host_id(src)].egress = ch
+            self.rail_nics[host_id(src)][rail].egress = ch
         else:
             self.switches[src].add_port(ch)
 
@@ -182,16 +208,18 @@ class Fabric:
             self.sim.trace_hook = None
             for ch in self.channels.values():
                 ch.trace = None
-            for nic in self.nics.values():
-                nic.trace = None
+            for nics in self.rail_nics.values():
+                for nic in nics:
+                    nic.trace = None
             for sw in self.switches.values():
                 sw.trace = None
             return
         self.sim.trace_hook = tracer.on_engine_event
         for (src, dst), ch in sorted(self.channels.items()):
             ch.trace = tracer.track("link", f"{src}->{dst}")
-        for h in sorted(self.nics):
-            self.nics[h].trace = tracer.track("nic", f"h{h}")
+        for h in sorted(self.rail_nics):
+            for r, nic in enumerate(self.rail_nics[h]):
+                nic.trace = tracer.track("nic", f"h{h}" if r == 0 else f"h{h}.r{r}")
         for name in sorted(self.switches):
             self.switches[name].trace = tracer.track("switch", name)
 
@@ -199,6 +227,10 @@ class Fabric:
 
     def nic(self, host: int) -> Nic:
         return self.nics[host]
+
+    def rail_nic(self, host: int, rail: int) -> Nic:
+        """The NIC host *host* uses on plane *rail* (rail 0 == ``nic()``)."""
+        return self.rail_nics[host][rail]
 
     @property
     def n_hosts(self) -> int:
@@ -307,14 +339,17 @@ class Fabric:
                 # Partitioned group (no surviving tree spans the members);
                 # leave the stale tree — the collective layer will abort.
                 pass
+        for listener in self.sweep_listeners:
+            listener()
 
     def crash_host(self, host: int) -> None:
-        """Kill host *host* permanently: its NIC stops transmitting and
-        receiving (wire and loopback) from this instant on."""
-        nic = self.nics[host]
-        nic.dead = True
-        if nic.egress is not None:
-            nic.egress.down = True
+        """Kill host *host* permanently: its NICs (every rail) stop
+        transmitting and receiving (wire and loopback) from this instant
+        on."""
+        for nic in self.rail_nics[host]:
+            nic.dead = True
+            if nic.egress is not None:
+                nic.egress.down = True
         self.dead_hosts.add(host)
 
     def crash_switch(self, name: str) -> None:
@@ -386,14 +421,15 @@ class Fabric:
         if exclude is None:
             exclude = self.dead_node_names()
         members_set = set(int(m) for m in members)
-        tree = self.topology.mcast_tree(gid, sorted(members_set), exclude)
+        plan = plan_mcast(self.topology, gid, sorted(members_set), exclude)
         for sw in self.switches.values():
             sw.mcast_table.pop(gid, None)
-        for node, neighbors in tree.items():
+        for node, neighbors in plan.tree.items():
             if not is_host(node):
                 self.switches[node].install_mcast(gid, set(neighbors))
         group.members = members_set
-        group.tree = tree
+        group.tree = plan.tree
+        group.plan = plan
 
     def one_way_delay(self, src: int, dst) -> float:
         """Propagation-only delay estimate host→host (for ack modeling)."""
@@ -410,14 +446,20 @@ class Fabric:
     # ------------------------------------------------------------- multicast
 
     def create_mcast_group(self, members: Sequence[int]) -> int:
-        """Create a group, build its spanning tree, program the switches."""
+        """Create a group, plan its spanning tree, program the switches.
+
+        Planning dispatches on the topology family (fat-tree plans are
+        bit-identical to the legacy spine-rooted BFS); the plan — root,
+        rail, chain hints — is kept on the :class:`McastGroup`.
+        """
         gid = next(self._gid_counter)
         members_set = set(int(m) for m in members)
-        tree = self.topology.mcast_tree(gid, sorted(members_set))
-        for node, neighbors in tree.items():
+        plan = plan_mcast(self.topology, gid, sorted(members_set))
+        for node, neighbors in plan.tree.items():
             if not is_host(node):
                 self.switches[node].install_mcast(gid, set(neighbors))
-        self.mcast_groups[gid] = McastGroup(gid=gid, members=members_set, tree=tree)
+        self.mcast_groups[gid] = McastGroup(gid=gid, members=members_set,
+                                            tree=plan.tree, plan=plan)
         return gid
 
     def create_inc_tree(self, members: Sequence[int], rkey: int,
@@ -501,7 +543,8 @@ class Fabric:
         return sum(ch.packets_dropped for ch in self.channels.values())
 
     def total_rnr_drops(self) -> int:
-        return sum(nic.rnr_drops for nic in self.nics.values())
+        return sum(nic.rnr_drops
+                   for nics in self.rail_nics.values() for nic in nics)
 
     def reset_counters(self) -> None:
         for ch in self.channels.values():
@@ -509,7 +552,8 @@ class Fabric:
         for sw in self.switches.values():
             sw.packets_forwarded = 0
             sw.packets_dropped_no_route = 0
-        for nic in self.nics.values():
-            nic.rnr_drops = 0
-            nic.packets_received = 0
-            nic.bytes_received = 0
+        for nics in self.rail_nics.values():
+            for nic in nics:
+                nic.rnr_drops = 0
+                nic.packets_received = 0
+                nic.bytes_received = 0

@@ -340,13 +340,19 @@ class Nic:
         fabric: "Fabric",
         mtu: int = 4096,
         header_bytes: int = 64,
+        memory: Optional[Memory] = None,
+        rail: int = 0,
     ) -> None:
         self.sim = sim
         self.host = host
         self.fabric = fabric
         self.mtu = mtu
         self.header_bytes = header_bytes
-        self.memory = Memory(host)
+        #: which network plane this NIC serves (multi-rail fabrics wire
+        #: one NIC per rail; all of a host's NICs share its Memory so an
+        #: MR registered once is reachable from any plane)
+        self.rail = rail
+        self.memory = memory if memory is not None else Memory(host)
         self.egress: Optional[Channel] = None  # wired by the Fabric
         self.qps: Dict[int, QueuePair] = {}
         self._qpn_counter = itertools.count(1)
@@ -399,6 +405,25 @@ class Nic:
         self.fabric.register_mcast_member(gid, self.host)
         if qpn not in self._mcast_attached[gid]:
             self._mcast_attached[gid].append(qpn)
+
+    def adopt_qp(self, qp: QueuePair) -> None:
+        """Re-home *qp* (and its multicast attachments) onto this NIC —
+        the multi-rail plane-failover path.  A host's rail NICs share its
+        Memory, so only the addressing moves: the QP keeps its receive
+        queue, CQs and posted WRs, gets a fresh QPN in this NIC's space,
+        and future sends leave through this NIC's plane."""
+        old = qp.nic
+        if old is self:
+            return
+        gids = sorted(qp.mcast_groups)
+        for gid in gids:
+            old.detach_mcast(gid, qp.qpn)
+        old.qps.pop(qp.qpn, None)
+        qp.qpn = next(self._qpn_counter)
+        qp.nic = self
+        self.qps[qp.qpn] = qp
+        for gid in gids:
+            self.attach_mcast(gid, qp.qpn)
 
     def detach_mcast(self, gid: int, qpn: int) -> None:
         if qpn in self._mcast_attached.get(gid, ()):

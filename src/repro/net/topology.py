@@ -21,7 +21,24 @@ import collections
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Topology", "TopologySpec", "host_name", "host_id", "is_host"]
+__all__ = [
+    "Topology",
+    "TopologyError",
+    "TopologySpec",
+    "host_name",
+    "host_id",
+    "is_host",
+    "torus_coord",
+    "torus_id",
+]
+
+
+class TopologyError(ValueError):
+    """Typed error for malformed topology specs and invalid plan inputs.
+
+    Subclasses :class:`ValueError` so callers that guarded on the old
+    untyped raises keep working; new code should catch this type.
+    """
 
 
 def host_name(i: int) -> str:
@@ -40,6 +57,27 @@ def is_host(name: str) -> bool:
     return name.startswith("h") and name[1:].isdigit()
 
 
+def torus_coord(rank: int, dims: Sequence[int]) -> List[int]:
+    """Rank → d-dimensional torus coordinates (row-major mixed radix).
+
+    The generalization of the Fugaku bine-tree coordinate math to any
+    dimension count: the last dimension varies fastest.
+    """
+    coord = []
+    for size in reversed(dims):
+        coord.append(rank % size)
+        rank //= size
+    return coord[::-1]
+
+
+def torus_id(coord: Sequence[int], dims: Sequence[int]) -> int:
+    """Inverse of :func:`torus_coord`."""
+    rank = 0
+    for c, size in zip(coord, dims):
+        rank = rank * size + c
+    return rank
+
+
 class Topology:
     """An undirected graph of hosts and switches with routing helpers.
 
@@ -54,6 +92,16 @@ class Topology:
         Defaults to all switches.
     kind:
         Human-readable tag ("leaf_spine", "star", ...).
+    rails:
+        Parallel network planes (Nezha-style multi-rail).  Every host
+        must have exactly one attachment per rail; ``edge_rails`` names
+        the rail of every edge when ``rails > 1``.
+    edge_rails:
+        Canonical edge key → rail id.  Required for ``rails > 1``;
+        ignored (all rail 0) otherwise.
+    params:
+        Declarative construction parameters (the factory's arguments),
+        carried so specs and tuning keys can round-trip the family.
     """
 
     def __init__(
@@ -62,13 +110,21 @@ class Topology:
         edges: Iterable[Tuple[str, str]],
         core_switches: Optional[Sequence[str]] = None,
         kind: str = "custom",
+        rails: int = 1,
+        edge_rails: Optional[Dict[Tuple[str, str], int]] = None,
+        params: Optional[Dict[str, object]] = None,
     ) -> None:
         if n_hosts < 1:
             raise ValueError("need at least one host")
+        if rails < 1:
+            raise TopologyError("rails must be >= 1")
         self.n_hosts = n_hosts
         self.kind = kind
+        self.rails = int(rails)
+        self.params: Dict[str, object] = dict(params or {})
         self.adjacency: Dict[str, List[str]] = collections.defaultdict(list)
         self.edges: List[Tuple[str, str]] = []
+        self.edge_rails: Dict[Tuple[str, str], int] = {}
         seen = set()
         for a, b in edges:
             if a == b:
@@ -80,6 +136,13 @@ class Topology:
             self.edges.append(key)
             self.adjacency[a].append(b)
             self.adjacency[b].append(a)
+            if self.rails > 1:
+                if edge_rails is None or key not in edge_rails:
+                    raise TopologyError(
+                        f"multi-rail topology must name a rail for edge {key}")
+                self.edge_rails[key] = int(edge_rails[key])
+            else:
+                self.edge_rails[key] = 0
         for name in self.adjacency:
             self.adjacency[name].sort()
         self.hosts = [host_name(i) for i in range(n_hosts)]
@@ -90,16 +153,97 @@ class Topology:
         self.core_switches = (
             sorted(core_switches) if core_switches is not None else list(self.switch_names)
         )
-        for h in self.hosts:
-            if len(self.adjacency[h]) != 1:
-                raise ValueError(f"host {h} must have exactly one attachment")
+        #: switch name → rail (a plane-crossing switch is rejected above 1 rail)
+        self.switch_rail: Dict[str, int] = {}
+        for (a, b), rail in self.edge_rails.items():
+            for end in (a, b):
+                if is_host(end):
+                    continue
+                prev = self.switch_rail.setdefault(end, rail)
+                if prev != rail:
+                    raise TopologyError(
+                        f"switch {end} has edges in rails {prev} and {rail}; "
+                        "planes must be disjoint above the hosts")
+        #: host id → per-rail attachment (index = rail)
+        self._host_ports: Dict[int, List[str]] = {}
+        for i, h in enumerate(self.hosts):
+            ports: List[Optional[str]] = [None] * self.rails
+            for nbr in self.adjacency[h]:
+                key = (h, nbr) if h < nbr else (nbr, h)
+                rail = self.edge_rails[key]
+                if not 0 <= rail < self.rails:
+                    raise TopologyError(f"edge {key} names rail {rail} of {self.rails}")
+                if ports[rail] is not None:
+                    raise TopologyError(f"host {h} has two attachments on rail {rail}")
+                ports[rail] = nbr
+            missing = [r for r, p in enumerate(ports) if p is None]
+            if missing:
+                raise ValueError(
+                    f"host {h} must have exactly one attachment per rail "
+                    f"(missing rail(s) {missing})")
+            self._host_ports[i] = [p for p in ports if p is not None]
         self._dist_cache: Dict[int, Dict[str, int]] = {}
 
     # ------------------------------------------------------------- accessors
 
-    def attach_point(self, host: int) -> str:
-        """The node (switch, or peer host in back-to-back) host *i* plugs into."""
-        return self.adjacency[host_name(host)][0]
+    def attach_point(self, host: int, rail: int = 0) -> str:
+        """The node host *i* plugs into on *rail* (switch, or peer host in
+        back-to-back)."""
+        return self._host_ports[host][rail]
+
+    def host_ports(self, host: int) -> List[str]:
+        """Per-rail attachment points of host *i* (index = rail)."""
+        return list(self._host_ports[host])
+
+    def rail_of_edge(self, a: str, b: str) -> int:
+        """The rail (plane) an edge belongs to (0 on single-rail fabrics)."""
+        key = (a, b) if a < b else (b, a)
+        return self.edge_rails[key]
+
+    def rail_switches(self, rail: int) -> List[str]:
+        """Sorted switch names of one plane."""
+        return sorted(s for s in self.switch_names
+                      if self.switch_rail.get(s, 0) == rail)
+
+    def connected_rail(self, hosts: Sequence[int],
+                       exclude: Optional[Set[str]] = None,
+                       prefer: Optional[int] = None) -> Optional[int]:
+        """Lowest rail whose surviving plane still connects every host in
+        *hosts* (``prefer``, when given, is tried first so a still-healthy
+        incumbent plane is kept).  A plane "connects" the hosts when each
+        one's attachment switch is alive and all attachments are mutually
+        reachable through that plane's surviving switches.  Returns None
+        when no single plane spans them — a partition the caller must
+        surface rather than route around."""
+        exclude = set(exclude or ())
+        order = list(range(self.rails))
+        if prefer is not None and prefer in order:
+            order.remove(prefer)
+            order.insert(0, prefer)
+        for rail in order:
+            try:
+                attach = {self.attach_point(h, rail) for h in hosts}
+            except ValueError:
+                continue
+            if attach & exclude:
+                continue
+            if not attach:
+                return rail  # degenerate (no hosts): any plane will do
+            seen = set()
+            queue = collections.deque([next(iter(attach))])
+            seen.add(next(iter(attach)))
+            while queue:
+                node = queue.popleft()
+                for nb in self.adjacency[node]:
+                    if nb in seen or nb in exclude or is_host(nb):
+                        continue
+                    if self.switch_rail.get(nb, 0) != rail:
+                        continue
+                    seen.add(nb)
+                    queue.append(nb)
+            if attach <= seen:
+                return rail
+        return None
 
     def neighbors(self, name: str) -> List[str]:
         return self.adjacency[name]
@@ -119,6 +263,12 @@ class Topology:
         queue = collections.deque([start])
         while queue:
             node = queue.popleft()
+            if node != start and is_host(node):
+                # NICs do not forward: a host other than the destination
+                # can terminate a path but never extend one.  On single
+                # rails this is a no-op (a host's only neighbor is its
+                # parent); on multi-rail it keeps planes disjoint.
+                continue
             for nxt in self.adjacency[node]:
                 if nxt not in dist and not (exclude and nxt in exclude):
                     dist[nxt] = dist[node] + 1
@@ -136,7 +286,15 @@ class Topology:
         if node not in dist:
             raise ValueError(f"{node} cannot reach h{dst}")
         d = dist[node]
-        candidates = [n for n in self.adjacency[node] if dist.get(n, 1 << 30) == d - 1]
+        target = host_name(dst)
+        # A host is only ever a valid next hop when it IS the destination
+        # — forwarding through a peer NIC is not a thing.  Single-rail
+        # fabrics never produce such candidates; multi-rail ones do
+        # (both of a host's leaves sit at equal distance via that host).
+        candidates = [
+            n for n in self.adjacency[node]
+            if dist.get(n, 1 << 30) == d - 1 and (n == target or not is_host(n))
+        ]
         assert candidates, "BFS invariant violated"
         return candidates[dst % len(candidates)]
 
@@ -213,6 +371,17 @@ class Topology:
             tree[a].add(b)
             tree[b].add(a)
             return dict(tree)
+        # The repair path splices member branches onto whatever root the
+        # rotation produced — verify it really is a surviving core before
+        # trusting it (a stale/foreign root would silently build a tree
+        # the subnet manager could never have programmed).
+        if root not in self.core_switches:
+            raise TopologyError(
+                f"multicast root {root!r} is not a core switch "
+                f"(cores: {self.core_switches[:4]}…)")
+        if exclude and root in exclude:
+            raise TopologyError(
+                f"multicast root {root!r} is in the excluded (dead) set")
         # Build a BFS spanning tree from the root (deterministic neighbor
         # order, rotated by gid so distinct groups use distinct links), then
         # keep only the branches leading to members.  A per-destination
@@ -225,6 +394,8 @@ class Topology:
         while i < len(order):
             node = order[i]
             i += 1
+            if is_host(node):
+                continue  # hosts are tree leaves, never relay points
             neighbors = self.adjacency[node]
             rot = gid % len(neighbors) if neighbors else 0
             for nxt in neighbors[rot:] + neighbors[:rot]:
@@ -253,7 +424,7 @@ class Topology:
     def star(cls, n_hosts: int) -> "Topology":
         """All hosts on one switch (crossbar)."""
         edges = [(host_name(i), "sw000") for i in range(n_hosts)]
-        return cls(n_hosts, edges, kind="star")
+        return cls(n_hosts, edges, kind="star", params={"n_hosts": n_hosts})
 
     @classmethod
     def leaf_spine(
@@ -276,7 +447,9 @@ class Topology:
         for leaf in leaves:
             for spine in spines:
                 edges.append((leaf, spine))
-        return cls(n_hosts, edges, core_switches=spines, kind="leaf_spine")
+        return cls(n_hosts, edges, core_switches=spines, kind="leaf_spine",
+                   params={"n_hosts": n_hosts, "n_leaf": n_leaf,
+                           "n_spine": n_spine, "hosts_per_leaf": hosts_per_leaf})
 
     @classmethod
     def testbed_188(cls) -> "Topology":
@@ -323,18 +496,165 @@ class Topology:
         for mid in mids:
             for core in cores:
                 edges.append((mid, core))
-        return cls(n_hosts, edges, core_switches=cores, kind="fat_tree3")
+        return cls(n_hosts, edges, core_switches=cores, kind="fat_tree3",
+                   params={"n_hosts": n_hosts, "n_leaf": n_leaf, "n_mid": n_mid,
+                           "n_core": n_core, "hosts_per_leaf": hosts_per_leaf,
+                           "mid_group": mid_group})
+
+    # ------------------------------------------------- topology zoo families
+
+    @classmethod
+    def torus(cls, dims: Sequence[int], hosts_per_node: int = 1) -> "Topology":
+        """k-ary n-cube: one router per coordinate, wrap-around rings in
+        every dimension, ``hosts_per_node`` hosts hanging off each router.
+
+        Node ids follow the row-major mixed-radix coordinate math of the
+        Fugaku bine-tree construction (:func:`torus_coord` /
+        :func:`torus_id`): host ``i`` lives on router ``i // hosts_per_node``
+        and the last dimension varies fastest.
+        """
+        dims = [int(d) for d in dims]
+        if not dims or any(d < 1 for d in dims):
+            raise TopologyError(f"torus dims must be positive, got {dims}")
+        if hosts_per_node < 1:
+            raise TopologyError("hosts_per_node must be >= 1")
+        n_routers = 1
+        for d in dims:
+            n_routers *= d
+        if n_routers < 2:
+            raise TopologyError("torus needs at least 2 routers")
+        width = max(2, max(len(str(d - 1)) for d in dims))
+
+        def rname(rid: int) -> str:
+            coord = torus_coord(rid, dims)
+            return "t" + "-".join(f"{c:0{width}d}" for c in coord)
+
+        n_hosts = n_routers * hosts_per_node
+        edges: List[Tuple[str, str]] = []
+        for i in range(n_hosts):
+            edges.append((host_name(i), rname(i // hosts_per_node)))
+        for rid in range(n_routers):
+            coord = torus_coord(rid, dims)
+            for axis, size in enumerate(dims):
+                if size == 1:
+                    continue
+                nxt = list(coord)
+                nxt[axis] = (coord[axis] + 1) % size
+                edges.append((rname(rid), rname(torus_id(nxt, dims))))
+        return cls(n_hosts, edges, kind="torus",
+                   params={"dims": dims, "hosts_per_node": hosts_per_node})
+
+    @classmethod
+    def dragonfly(cls, n_groups: int, routers_per_group: int,
+                  hosts_per_router: int = 1) -> "Topology":
+        """Dragonfly: all-to-all router cliques inside each group, one
+        global link per group pair.
+
+        The global link for pair ``(a, b)`` lands on router
+        ``(b - a - 1) % R`` in group *a* (and symmetrically in *b*), the
+        usual round-robin port assignment — every router carries
+        ``ceil((G-1)/R)`` global links.
+        """
+        if n_groups < 1 or routers_per_group < 1 or hosts_per_router < 1:
+            raise TopologyError("dragonfly shape parameters must be >= 1")
+        if n_groups * routers_per_group < 2:
+            raise TopologyError("dragonfly needs at least 2 routers")
+
+        def rname(g: int, r: int) -> str:
+            return f"g{g:02d}r{r:02d}"
+
+        n_hosts = n_groups * routers_per_group * hosts_per_router
+        edges: List[Tuple[str, str]] = []
+        for i in range(n_hosts):
+            j = i // hosts_per_router
+            edges.append((host_name(i),
+                          rname(j // routers_per_group, j % routers_per_group)))
+        for g in range(n_groups):
+            for r1 in range(routers_per_group):
+                for r2 in range(r1 + 1, routers_per_group):
+                    edges.append((rname(g, r1), rname(g, r2)))
+        for a in range(n_groups):
+            for b in range(a + 1, n_groups):
+                ra = (b - a - 1) % routers_per_group
+                rb = (a - b - 1) % routers_per_group
+                edges.append((rname(a, ra), rname(b, rb)))
+        return cls(n_hosts, edges, kind="dragonfly",
+                   params={"n_groups": n_groups,
+                           "routers_per_group": routers_per_group,
+                           "hosts_per_router": hosts_per_router})
+
+    @classmethod
+    def multi_rail(cls, base: "Topology", n_rails: int) -> "Topology":
+        """Wrap *base* into ``n_rails`` parallel planes (Nezha-style).
+
+        Every switch and switch-level link of the base topology is
+        replicated once per rail (rail *r*'s copy of switch ``s`` is
+        ``s.r{r}``); every host gets one attachment per rail, plugged
+        into its base leaf's per-rail copy.  Planes only meet at the
+        hosts — the planner stripes multicast groups across them.
+        """
+        if n_rails < 1:
+            raise TopologyError("n_rails must be >= 1")
+        if base.rails != 1:
+            raise TopologyError("multi_rail wraps a single-rail base topology")
+        if not base.switch_names:
+            raise TopologyError("multi_rail needs a switched base topology")
+
+        def sname(name: str, rail: int) -> str:
+            return f"{name}.r{rail}"
+
+        edges: List[Tuple[str, str]] = []
+        edge_rails: Dict[Tuple[str, str], int] = {}
+        for r in range(n_rails):
+            for a, b in base.edges:
+                ra = a if is_host(a) else sname(a, r)
+                rb = b if is_host(b) else sname(b, r)
+                key = (ra, rb) if ra < rb else (rb, ra)
+                edges.append(key)
+                edge_rails[key] = r
+        cores = [sname(c, r) for r in range(n_rails) for c in base.core_switches]
+        return cls(base.n_hosts, edges, core_switches=cores, kind="multi_rail",
+                   rails=n_rails, edge_rails=edge_rails,
+                   params={"base_kind": base.kind,
+                           "base_params": dict(base.params),
+                           "n_rails": n_rails})
 
 
 @dataclass
 class TopologySpec:
-    """Declarative topology description (handy for experiment configs)."""
+    """Declarative topology description (handy for experiment configs).
+
+    ``kind``/``params`` round-trip through the tuning cache key for every
+    family (see :meth:`key`); :meth:`build` raises a typed
+    :class:`TopologyError` — never a bare :class:`KeyError` — on missing
+    or invalid parameters.
+    """
 
     kind: str = "star"
     n_hosts: int = 2
-    params: Dict[str, int] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    KINDS = ("star", "back_to_back", "leaf_spine", "testbed_188",
+             "fat_tree3", "torus", "dragonfly", "multi_rail")
+
+    def _param(self, name: str):
+        try:
+            return self.params[name]
+        except KeyError:
+            raise TopologyError(
+                f"topology kind {self.kind!r} requires param {name!r} "
+                f"(got {sorted(self.params)})") from None
 
     def build(self) -> Topology:
+        try:
+            return self._build()
+        except TopologyError:
+            raise
+        except (KeyError, TypeError, ValueError) as err:
+            raise TopologyError(
+                f"invalid params for topology kind {self.kind!r}: {err}") from err
+
+    def _build(self) -> Topology:
         if self.kind == "star":
             return Topology.star(self.n_hosts)
         if self.kind == "back_to_back":
@@ -342,10 +662,69 @@ class TopologySpec:
         if self.kind == "leaf_spine":
             return Topology.leaf_spine(
                 self.n_hosts,
-                n_leaf=self.params["n_leaf"],
-                n_spine=self.params["n_spine"],
+                n_leaf=self._param("n_leaf"),
+                n_spine=self._param("n_spine"),
                 hosts_per_leaf=self.params.get("hosts_per_leaf"),
             )
         if self.kind == "testbed_188":
             return Topology.testbed_188()
-        raise ValueError(f"unknown topology kind {self.kind!r}")
+        if self.kind == "fat_tree3":
+            return Topology.fat_tree3(
+                self.n_hosts,
+                n_leaf=self._param("n_leaf"),
+                n_mid=self._param("n_mid"),
+                n_core=self._param("n_core"),
+                hosts_per_leaf=self.params.get("hosts_per_leaf"),
+                mid_group=self.params.get("mid_group"),
+            )
+        if self.kind == "torus":
+            topo = Topology.torus(
+                self._param("dims"),
+                hosts_per_node=int(self.params.get("hosts_per_node", 1)),
+            )
+            if topo.n_hosts != self.n_hosts:
+                raise TopologyError(
+                    f"torus dims {self.params.get('dims')} give "
+                    f"{topo.n_hosts} hosts, spec says {self.n_hosts}")
+            return topo
+        if self.kind == "dragonfly":
+            topo = Topology.dragonfly(
+                self._param("n_groups"),
+                self._param("routers_per_group"),
+                hosts_per_router=int(self.params.get("hosts_per_router", 1)),
+            )
+            if topo.n_hosts != self.n_hosts:
+                raise TopologyError(
+                    f"dragonfly shape gives {topo.n_hosts} hosts, "
+                    f"spec says {self.n_hosts}")
+            return topo
+        if self.kind == "multi_rail":
+            base = TopologySpec(
+                kind=str(self._param("base_kind")),
+                n_hosts=self.n_hosts,
+                params=dict(self.params.get("base_params", {})),
+            ).build()
+            return Topology.multi_rail(base, int(self._param("n_rails")))
+        raise TopologyError(f"unknown topology kind {self.kind!r}")
+
+    def key(self) -> Dict[str, object]:
+        """Canonical JSON-safe form for tuning cache keys: the family and
+        its parameters, lists normalized so digests are order-stable.
+
+        Parameters canonicalize *through the factory*: the spec is built
+        and the constructed topology's fully-defaulted ``params`` are
+        emitted, so equivalent spellings (``hosts_per_leaf`` omitted vs
+        explicit, dims as tuple vs list) share one digest — and malformed
+        params fail here, at key time, as a :class:`TopologyError`.
+        """
+        def norm(v):
+            if isinstance(v, dict):
+                return {str(k): norm(x) for k, x in sorted(v.items())}
+            if isinstance(v, (list, tuple)):
+                return [norm(x) for x in v]
+            return v
+        params = self.params
+        if params or self.kind in ("torus", "dragonfly", "multi_rail"):
+            params = dict(self.build().params)
+        return {"kind": self.kind, "n_hosts": self.n_hosts,
+                "params": norm(params)}

@@ -62,6 +62,7 @@ TRACEPOINTS: Dict[str, Any] = {
                               "(args: rank, phase)"),
     "liveness.confirm": ("i", "peer confirmed fail-stopped (args: rank, via)"),
     "repair.replan": ("i", "membership/topology re-planned around a death"),
+    "repair.ctrl_migrate": ("i", "control plane migrated to a surviving rail"),
     "repair.void": ("i", "chunks voided as unrecoverable (args: chunks)"),
     "engine.watchdog": ("i", "simulator no-progress watchdog fired"),
     "engine.ff_enter": ("i", "flow fast-forward fold began "

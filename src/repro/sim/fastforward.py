@@ -154,6 +154,10 @@ class FlowFastForward:
             return None
         if cfg.n_subgroups != 1 or cfg.transport not in ("ud", "uc"):
             return None
+        if fabric.topology.rails != 1:
+            # Multi-rail folds would need per-plane egress chains; the
+            # striped datapath (n_subgroups > 1) is already gated above.
+            return None
         if not comm.ff_exclusive(op.coll_id):
             return None
         if len(participants) < 2 or comm.size < 2:

@@ -48,13 +48,13 @@ BASE_CHUNK = 4096
 #: feeds the expected-recovery term so cutoff knobs rank on lossy keys
 EFFECTIVE_LOSS = {"clean": 0.0, "bernoulli": 1e-3, "burst": 0.01}
 
-_HOPS_CACHE: Dict[Tuple[str, int], int] = {}
+_HOPS_CACHE: Dict[Tuple[str, int, str], int] = {}
 
 
 def _host_hops(scenario: Scenario) -> int:
     """Worst-case host-to-host hop count of the scenario's topology
     (links on the path, switches included as hops via their delay)."""
-    key = (scenario.resolved_topo, scenario.n_hosts)
+    key = (scenario.resolved_topo, scenario.n_hosts, scenario.topo_params)
     if key not in _HOPS_CACHE:
         topo: Topology = scenario._topology()
         # Farthest pair from host 0 is representative on the symmetric
@@ -132,6 +132,16 @@ def predict_time(scenario: Scenario, knobs: Dict[str, object]) -> CostEstimate:
     else:
         wire = time_mcast_bcast(n * header_factor, p, bandwidth)
         recv_bytes = n
+
+    # Multi-rail striping: subgroup g plans its tree on plane g mod rails,
+    # so the bottleneck NIC direction is split across min(subgroups, rails)
+    # independent planes.  Without this term the pruner ranks every striped
+    # candidate behind n_subgroups=1 and the true optimum never simulates.
+    if scenario.resolved_topo == "multi_rail" and scenario.collective != "alltoall":
+        rails = int(scenario._params().get("n_rails", 1))
+        planes = min(max(cfg.n_subgroups, 1), max(rails, 1))
+        if planes > 1:
+            wire /= planes
 
     # --- software roofline: worker time to drain the receive path plus
     # the root/sender posting costs.  UD coarse candidates keep per-byte

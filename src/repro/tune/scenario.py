@@ -23,7 +23,7 @@ import numpy as np
 from repro.net.fabric import Fabric
 from repro.net.faults import CrashSpec, GilbertElliott
 from repro.net.link import FaultSpec
-from repro.net.topology import Topology
+from repro.net.topology import Topology, TopologySpec
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.units import gbit_per_s
@@ -100,9 +100,21 @@ class Scenario:
     #: fail-stop crash schedule name (:data:`CRASH_PROFILES`); "none"
     #: stays out of the cache key for digest stability
     crash_profile: str = "none"
+    #: :class:`~repro.net.topology.TopologySpec` build parameters for the
+    #: zoo kinds (torus dims, dragonfly shape, multi-rail base).  Accepts
+    #: a dict; stored as its canonical JSON string so the dataclass stays
+    #: hashable.  Empty ("") is key-invisible — pre-zoo digests hold.
+    topo_params: str = ""
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.topo_params, dict):
+            object.__setattr__(
+                self, "topo_params",
+                json.dumps(self.topo_params, sort_keys=True,
+                           separators=(",", ":")))
+        if self.topo_params:
+            json.loads(self.topo_params)  # malformed params fail here
         if self.collective not in TUNABLE_COLLECTIVES:
             raise ValueError(f"unknown collective {self.collective!r}")
         if self.transport not in ("ud", "uc"):
@@ -159,6 +171,13 @@ class Scenario:
         }
         if self.crash_profile != "none":
             key["crash_profile"] = self.crash_profile
+        if self.topo_params:
+            # Round-trip kind/params through the TopologySpec normalizer so
+            # equivalent spellings ({"dims": [4, 4]} vs ((4, 4))) share one
+            # digest — and malformed params fail at key time, not run time.
+            key["topo_params"] = TopologySpec(
+                self.resolved_topo, self.n_hosts, self._params()
+            ).key()["params"]
         return key
 
     def cache_key(self) -> str:
@@ -179,8 +198,13 @@ class Scenario:
 
     # ------------------------------------------------------------ execution
 
+    def _params(self) -> Dict[str, object]:
+        return json.loads(self.topo_params) if self.topo_params else {}
+
     def _topology(self) -> Topology:
         name = self.resolved_topo
+        if name in ("torus", "dragonfly", "multi_rail") or self.topo_params:
+            return TopologySpec(name, self.n_hosts, self._params()).build()
         if name == "star":
             return Topology.star(self.n_hosts)
         if name == "testbed_188":

@@ -163,8 +163,20 @@ def resolve_config(
         # Topology.testbed_188() is built as a leaf_spine; the store keys
         # it under the same name Scenario.resolved_topo uses.
         kind = "testbed_188"
-    if kind not in ("star", "leaf_spine", "testbed_188", "back_to_back"):
+    if kind not in ("star", "leaf_spine", "testbed_188", "back_to_back",
+                    "torus", "dragonfly", "multi_rail"):
         return CollectiveConfig()
+    # Zoo kinds key their build parameters too: a [4,4] torus profile
+    # must not resolve for a [2,8] torus of the same size.
+    want_params = None
+    if kind in ("torus", "dragonfly", "multi_rail"):
+        try:
+            from repro.net.topology import TopologySpec
+            want_params = TopologySpec(
+                kind, fabric.topology.n_hosts,
+                dict(fabric.topology.params)).key()["params"]
+        except ValueError:
+            return CollectiveConfig()
 
     matches: List[TuningProfile] = []
     for profile in store.profiles():
@@ -173,7 +185,9 @@ def resolve_config(
                 and key["topology"] == kind
                 and key["n_hosts"] == p
                 and key["fault_profile"] == fault_profile
-                and abs(float(key["link_gbit"]) - link_gbit) < 1e-6):
+                and abs(float(key["link_gbit"]) - link_gbit) < 1e-6
+                and (want_params is None
+                     or key.get("topo_params") == want_params)):
             matches.append(profile)
     if not matches:
         return CollectiveConfig()

@@ -76,11 +76,23 @@ class SearchSpace:
             if BASE_CHUNK <= c <= min(MAX_CHUNK, n) and n % c == 0
         ) or (min(BASE_CHUNK, n),)
         max_par = max(1, n // max(chunks))
-        subgroups = tuple(s for s in (1, 2, 4) if s <= max_par)
+        sub_pool = (1, 2, 4)
+        chain_pool = (1, 2, 4)
+        if scenario.resolved_topo == "multi_rail":
+            # Rail striping rides on subgroups (stripe g → plane g mod
+            # rails): the domain must offer multiples of the rail count
+            # or the planner can never spread load across planes.
+            rails = int(scenario._params().get("n_rails", 2))
+            sub_pool = tuple(sorted({*sub_pool, rails, 2 * rails}))
+        if scenario.resolved_topo in ("torus", "dragonfly", "multi_rail"):
+            # The zoo shapes have more root diversity than a 2-spine
+            # fat-tree; let the chain schedule go wider.
+            chain_pool = (1, 2, 4, 8)
+        subgroups = tuple(s for s in sub_pool if s <= max_par)
         # Chain count matters wherever the multicast allgather engine runs:
         # plain allgather and the allgather phase of the composed allreduce.
         chains = (
-            tuple(m for m in (1, 2, 4) if m <= scenario.n_hosts)
+            tuple(m for m in chain_pool if m <= scenario.n_hosts)
             if scenario.collective in ("allgather", "allreduce") else (1,)
         )
         domains = {

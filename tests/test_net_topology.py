@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.net.topology import Topology, TopologySpec, host_id, host_name, is_host
+from repro.net.topology import (
+    Topology,
+    TopologyError,
+    TopologySpec,
+    host_id,
+    host_name,
+    is_host,
+    torus_coord,
+    torus_id,
+)
 
 
 def test_host_name_roundtrip():
@@ -157,5 +166,137 @@ def test_topology_spec_builders():
     spec = TopologySpec("leaf_spine", 8, {"n_leaf": 2, "n_spine": 2})
     assert spec.build().kind == "leaf_spine"
     assert TopologySpec("testbed_188").build().n_hosts == 188
-    with pytest.raises(ValueError):
+
+
+def test_topology_spec_zoo_builders():
+    t = TopologySpec("torus", 16, {"dims": [4, 4]}).build()
+    assert t.kind == "torus" and t.n_hosts == 16
+    d = TopologySpec(
+        "dragonfly", 12,
+        {"n_groups": 3, "routers_per_group": 2, "hosts_per_router": 2},
+    ).build()
+    assert d.kind == "dragonfly" and d.n_hosts == 12
+    m = TopologySpec("multi_rail", 8, {
+        "base_kind": "leaf_spine",
+        "base_params": {"n_leaf": 2, "n_spine": 2},
+        "n_rails": 2,
+    }).build()
+    assert m.kind == "multi_rail" and m.rails == 2
+
+
+def test_topology_spec_typed_errors():
+    # Missing required params raise TopologyError (a ValueError subclass),
+    # never a bare KeyError — callers catch one exception type.
+    assert issubclass(TopologyError, ValueError)
+    with pytest.raises(TopologyError):
         TopologySpec("torus", 8).build()
+    with pytest.raises(TopologyError):
+        TopologySpec("dragonfly", 8, {"n_groups": 4}).build()
+    with pytest.raises(TopologyError):
+        TopologySpec("multi_rail", 8, {"n_rails": 2}).build()
+    with pytest.raises(TopologyError):
+        TopologySpec("no_such_family", 8).build()
+    # Host-count mismatch against the declared shape is also typed.
+    with pytest.raises(TopologyError):
+        TopologySpec("torus", 7, {"dims": [4, 4]}).build()
+
+
+def test_topology_spec_key_canonicalizes_through_factory():
+    # Equivalent spellings (defaults omitted vs explicit, tuple vs list
+    # dims) must emit one canonical key, or profile digests fracture.
+    a = TopologySpec("torus", 16, {"dims": (4, 4)}).key()
+    b = TopologySpec("torus", 16, {"dims": [4, 4], "hosts_per_node": 1}).key()
+    assert a == b
+    built = TopologySpec("torus", 16, {"dims": [4, 4]}).build()
+    assert a["params"] == TopologySpec("torus", 16, dict(built.params)).key()["params"]
+
+
+def test_torus_coord_roundtrip():
+    dims = [2, 3, 4]
+    for rank in range(2 * 3 * 4):
+        assert torus_id(torus_coord(rank, dims), dims) == rank
+    assert torus_coord(0, dims) == [0, 0, 0]
+    # Last dimension varies fastest (row-major mixed radix).
+    assert torus_coord(1, dims) == [0, 0, 1]
+
+
+def test_torus_structure():
+    topo = Topology.torus([4, 4])
+    assert topo.n_hosts == 16
+    assert len(topo.switch_names) == 16  # one router per coordinate
+    # Each router: 1 host link + 2 ring links per dimension = degree 5.
+    for sw in topo.switch_names:
+        assert len(topo.adjacency[sw]) == 5
+    # 16 host links + 2 rings of 4 links per row/column (4+4 rings).
+    assert len(topo.edges) == 16 + 2 * 4 * 4
+
+
+def test_torus_dim2_collapses_parallel_ring_edges():
+    # A ring of size 2 has (c+1) % 2 meeting itself both ways; the
+    # duplicate collapses to a single edge.
+    topo = Topology.torus([2, 2])
+    assert topo.n_hosts == 4
+    assert len(topo.edges) == 4 + 4
+
+
+def test_dragonfly_structure():
+    topo = Topology.dragonfly(4, 3, hosts_per_router=2)
+    assert topo.n_hosts == 24
+    assert len(topo.switch_names) == 12
+    # Edges: 24 host links + 4 groups x C(3,2) clique links + C(4,2) globals.
+    assert len(topo.edges) == 24 + 4 * 3 + 6
+    # Hosts fill routers sequentially: h0,h1 on g00r00.
+    assert topo.attach_point(0) == topo.attach_point(1) == "g00r00"
+
+
+def test_multi_rail_planes_are_disjoint_above_hosts():
+    base = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    topo = Topology.multi_rail(base, 2)
+    assert topo.rails == 2
+    assert topo.n_hosts == 8
+    # Every base switch exists once per rail; no switch spans planes.
+    assert len(topo.switch_names) == 2 * len(base.switch_names)
+    for sw in topo.switch_names:
+        rails = {topo.rail_of_edge(sw, nbr) for nbr in topo.adjacency[sw]}
+        assert len(rails) == 1
+    # Hosts have one attachment per rail.
+    for h in range(8):
+        ports = topo.host_ports(h)
+        assert len(ports) == 2
+        assert topo.attach_point(h, 0).endswith(".r0")
+        assert topo.attach_point(h, 1).endswith(".r1")
+
+
+def test_multi_rail_rejects_bad_bases():
+    with pytest.raises(TopologyError):
+        Topology.multi_rail(Topology.back_to_back(), 2)  # switchless
+    base = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    with pytest.raises(TopologyError):
+        Topology.multi_rail(Topology.multi_rail(base, 2), 2)  # already railed
+
+
+def test_connected_rail_prefers_incumbent_and_survives_plane_death():
+    base = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    topo = Topology.multi_rail(base, 2)
+    hosts = list(range(8))
+    # Healthy fabric: lowest rail wins, but a preferred incumbent holds.
+    assert topo.connected_rail(hosts) == 0
+    assert topo.connected_rail(hosts, prefer=1) == 1
+    # Plane 0 dead: only rail 1 still spans the hosts.
+    dead = set(topo.rail_switches(0))
+    assert topo.connected_rail(hosts, exclude=dead) == 1
+    assert topo.connected_rail(hosts, exclude=dead, prefer=0) == 1
+    # Both planes dead: no rail connects them.
+    dead |= set(topo.rail_switches(1))
+    assert topo.connected_rail(hosts, exclude=dead) is None
+
+
+def test_connected_rail_partial_spine_death_keeps_plane():
+    base = Topology.leaf_spine(8, n_leaf=2, n_spine=2)
+    topo = Topology.multi_rail(base, 2)
+    # One spine of plane 0 dies; the second spine still connects the
+    # plane, so rail 0 remains usable.
+    assert topo.connected_rail(list(range(8)), exclude={"spine000.r0"}) == 0
+    # Both plane-0 spines dead: leaves can't reach each other in-plane.
+    dead = {"spine000.r0", "spine001.r0"}
+    assert topo.connected_rail(list(range(8)), exclude=dead) == 1

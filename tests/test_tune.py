@@ -315,6 +315,9 @@ def test_committed_profile_lookup_is_cache_hit():
             transport=profile.key["transport"],
             msg_bytes=profile.key["bucket"],
             fault_profile=profile.key["fault_profile"],
+            # Zoo profiles carry their build params in the key; the
+            # spec normalizer must round-trip them to the same digest.
+            topo_params=profile.key.get("topo_params", ""),
         )
         assert scn.cache_key() == profile.cache_key
         result = autotune(scn, store=store)

@@ -17,10 +17,13 @@ replaces: O(packets) event simulation with O(links) arithmetic.
 
 Entry modes:
 
-* ``--smoke`` — the CI ``scaling-smoke`` job: 1024-host broadcast +
-  allgather under banded fast-forward, a hard wall-clock budget, and
-  ``ff_phases`` assertions that fail loudly if the fold silently
-  disengages.  The result table is persisted to
+* ``--smoke`` — the CI ``scaling-smoke`` job: banded broadcast +
+  allgather at 1024 AND 4096 hosts, a shard-equivalence axis at 1024
+  (``parallel`` in {1, 2, 4} plus the multiprocessing pipe backend must
+  all be bit-identical in virtual time), an ag4096/ag1024 wall-clock
+  scaling-ratio gate, a hard wall-clock budget, and ``ff_phases``
+  assertions that fail loudly if the fold silently disengages.  The
+  result table is persisted to
   ``benchmarks/results/ff_scaling_smoke.txt`` for artifact upload.
 * default — the full sweep (minutes: the ``pkt`` column at 2048 hosts
   is the cost being amortized), persisted to
@@ -89,7 +92,10 @@ def run_broadcast(n_hosts: int, mode: str,
 
 
 def run_allgather(n_ranks: int, mode: str,
-                  per_rank: int = AG_PER_RANK) -> Dict[str, object]:
+                  per_rank: int = AG_PER_RANK,
+                  cutoff_alpha: float = 10e-3,
+                  parallel: object = "off",
+                  force_process: bool = False) -> Dict[str, object]:
     ff, coalescing = MODES[mode]
     fabric = make_fabric(n_ranks, mtu=4096)
     fabric.set_coalescing(coalescing)
@@ -100,10 +106,15 @@ def run_allgather(n_ranks: int, mode: str,
         # The chain-serialized allgather is activation-latency bound; the
         # adaptive cutoff's bandwidth-based deadline under-estimates it
         # at this scale, so pin a static slack that covers the chain.
+        # (4096-rank chains run ~13 ms of virtual time, so their callers
+        # pass a wider slack than the 10 ms default here.)
         adaptive_cutoff=False,
-        cutoff_alpha=10e-3,
+        cutoff_alpha=cutoff_alpha,
+        parallel=parallel,
     )
     comm = Communicator(fabric, config=cfg)
+    if force_process and comm.ff is not None:
+        comm.ff.force_process = True
     datas = [np.full(per_rank, r % 251, dtype=np.uint8) for r in range(n_ranks)]
     t0 = time.perf_counter()
     res = comm.allgather(datas)
@@ -114,6 +125,9 @@ def run_allgather(n_ranks: int, mode: str,
         "events": res.engine["sim_events"],
         "virtual_s": res.duration,
         "ff_phases": res.engine.get("ff_phases", 0),
+        "shards": res.engine.get("shards", 0),
+        "sync_rounds": res.engine.get("sync_rounds", 0),
+        "boundary_msgs": res.engine.get("boundary_msgs", 0),
     }
 
 
@@ -163,29 +177,93 @@ def full_sweep(bcast_hosts: List[int], ag_hosts: List[int]) -> int:
 
 
 def smoke(budget_s: float) -> int:
-    """CI scaling-smoke: 1024-host broadcast + allgather, banded engine,
-    wall-clock budget + fold-engagement assertions."""
+    """CI scaling-smoke: banded broadcast + allgather at 1024 AND 4096
+    hosts, a shard-equivalence axis at 1024, a wall-clock budget, and
+    fold-engagement assertions.
+
+    The 4096-host rows are the headline of the parallel-DES work: the
+    allgather chain is O(P) folds, so quadrupling the rank count must
+    cost far less than the 16x a quadratic engine would pay.  The ratio
+    is measured against a 1024-rank run with the *same* per-rank payload
+    and cutoff so the comparison isolates scaling, not configuration.
+    Payloads shrink at 4096 (1 MiB broadcast, 128 B/rank allgather):
+    receive buffers are materialized per rank, so a 4 MiB broadcast at
+    4096 ranks would page in 16 GB of payload state — the engine cost
+    being measured here is per-chunk/per-link, not per-byte.
+    """
     t0 = time.perf_counter()
     rows = []
     failures = []
 
+    def row(kind, n, r, note="-"):
+        rows.append([kind, str(n), "banded", f"{r['wall_s']:.2f}",
+                     f"{r['events']:,}", f"{r['virtual_s'] * 1e6:.3f}",
+                     str(r["ff_phases"]), note])
+        print(f"  smoke {kind} n={n} ({note}): wall={r['wall_s']:.2f}s "
+              f"ff_phases={r['ff_phases']}", flush=True)
+
     b = run_broadcast(1024, "banded")
-    rows.append(["broadcast", "1024", "banded", f"{b['wall_s']:.2f}",
-                 f"{b['events']:,}", f"{b['virtual_s'] * 1e6:.3f}",
-                 str(b["ff_phases"]), "-"])
+    row("broadcast", 1024, b)
     if b["ff_phases"] != 1:
         failures.append(
             f"broadcast fold disengaged (ff_phases={b['ff_phases']}, "
             "expected 1) — the run fell back to packet level")
 
     a = run_allgather(1024, "banded")
-    rows.append(["allgather", "1024", "banded", f"{a['wall_s']:.2f}",
-                 f"{a['events']:,}", f"{a['virtual_s'] * 1e6:.3f}",
-                 str(a["ff_phases"]), "-"])
+    row("allgather", 1024, a)
     if a["ff_phases"] != 1024:
         failures.append(
             f"allgather folded {a['ff_phases']}/1024 phases — "
             "eligibility gates are rejecting clean phases")
+
+    # --- 4096-host rows ----------------------------------------------------
+    b4 = run_broadcast(4096, "banded", payload=MiB)
+    row("broadcast", 4096, b4, note="1MiB")
+    if b4["ff_phases"] != 1:
+        failures.append(
+            f"4096-host broadcast fold disengaged "
+            f"(ff_phases={b4['ff_phases']}, expected 1)")
+
+    # Matched-payload baseline for the scaling ratio: same 128 B/rank and
+    # the same 100 ms static cutoff (a 4096-rank chain runs ~13 ms of
+    # virtual time, past the 10 ms default slack).
+    a1m = run_allgather(1024, "banded", per_rank=128, cutoff_alpha=100e-3)
+    row("allgather", 1024, a1m, note="128B/rank")
+    a4 = run_allgather(4096, "banded", per_rank=128, cutoff_alpha=100e-3)
+    row("allgather", 4096, a4, note="128B/rank")
+    if a4["ff_phases"] != 4096:
+        failures.append(
+            f"4096-rank allgather folded {a4['ff_phases']}/4096 phases — "
+            "the chain fell back to packet level partway")
+    ratio = a4["wall_s"] / max(a1m["wall_s"], 1e-9)
+    rows.append(["ag4096/ag1024", "-", "-", f"{ratio:.2f}x",
+                 "-", "-", "-", "wall ratio"])
+    print(f"  smoke ag4096/ag1024 wall ratio: {ratio:.2f}x "
+          "(a quadratic engine would pay 16x)", flush=True)
+    if ratio >= 16.0:
+        failures.append(
+            f"allgather scaling regressed: 4096/1024 wall ratio "
+            f"{ratio:.2f}x >= 16x — the chain is quadratic again")
+
+    # --- shard-equivalence axis at 1024 ------------------------------------
+    # The parallel engine must be bit-identical in virtual time to the
+    # sequential fold for any shard count, including the multiprocessing
+    # pipe backend.
+    for shards, pipes in [(1, False), (2, False), (4, False), (4, True)]:
+        r = run_allgather(1024, "banded", parallel=shards,
+                          force_process=pipes)
+        tag = f"shards={shards}" + ("+pipes" if pipes else "")
+        row("allgather", 1024, r, note=tag)
+        if r["virtual_s"] != a["virtual_s"]:
+            failures.append(
+                f"parallel engine diverged at {tag}: "
+                f"{r['virtual_s']} != {a['virtual_s']}")
+        if r["shards"] != shards:
+            failures.append(f"{tag}: shards gauge reported {r['shards']}")
+        if pipes and r["boundary_msgs"] == 0:
+            failures.append(
+                f"{tag}: pipe backend shipped no boundary messages — "
+                "the run silently stayed inline")
 
     wall = time.perf_counter() - t0
     rows.append(["total", "-", "-", f"{wall:.2f}", "-", "-", "-", "-"])

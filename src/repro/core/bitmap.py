@@ -158,6 +158,8 @@ class Bitmap:
             return []
         if n > self.n_bits:
             raise IndexError(f"n={n} exceeds bitmap size {self.n_bits}")
+        if self._set_count == self.n_bits:
+            return []
         return self._missing_array(n).tolist()
 
     def missing_runs(self, n: int | None = None) -> List[tuple]:
@@ -165,13 +167,17 @@ class Bitmap:
         the fetch layer wants for issuing contiguous RDMA Reads.
 
         Vectorized: run boundaries are the places where the sorted missing
-        indices jump by more than one.
+        indices jump by more than one.  The full bitmap is the common case
+        on the clean path (every chunk delivered), so it short-circuits
+        before touching numpy.
         """
         n = self.n_bits if n is None else n
         if n <= 0:
             return []
         if n > self.n_bits:
             raise IndexError(f"n={n} exceeds bitmap size {self.n_bits}")
+        if self._set_count == self.n_bits:
+            return []
         miss = self._missing_array(n)
         if miss.size == 0:
             return []
@@ -181,6 +187,28 @@ class Bitmap:
         runs: List[Tuple[int, int]] = [
             (int(s), int(e - s + 1)) for s, e in zip(starts, ends)
         ]
+        return runs
+
+    def missing_runs_ref(self, n: int | None = None) -> List[tuple]:
+        """Pure-Python reference for :meth:`missing_runs` — one linear
+        bit walk, no numpy.  Kept as the executable specification the
+        property tests compare the vectorized scan against."""
+        n = self.n_bits if n is None else n
+        if n <= 0:
+            return []
+        if n > self.n_bits:
+            raise IndexError(f"n={n} exceeds bitmap size {self.n_bits}")
+        runs: List[Tuple[int, int]] = []
+        start = -1
+        for i in range(n):
+            if self._words[i >> 6] & (1 << (i & 63)):
+                if start >= 0:
+                    runs.append((start, i - start))
+                    start = -1
+            elif start < 0:
+                start = i
+        if start >= 0:
+            runs.append((start, n - start))
         return runs
 
     @property

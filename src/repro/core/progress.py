@@ -656,6 +656,12 @@ class RankEngine:
         the controller can re-plan instead of fetching from a corpse.
         """
         op.stats["recoveries"] += 1
+        ff = self.comm.ff
+        if ff is not None:
+            # An unscheduled crash (no fault_epoch hook between the crash
+            # and this cutoff) can leave a deferred-commit session live;
+            # recovery traffic must see fully committed channel state.
+            ff.preempt_vec()
         trc = self.trace
         recovery_t0 = self.sim.now
         me = participants.index(self.rank)

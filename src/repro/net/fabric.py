@@ -110,6 +110,11 @@ class Fabric:
         self.switches: Dict[str, Switch] = {}
         self.channels: Dict[Tuple[str, str], Channel] = {}
         self._stragglers: Dict[int, StragglerSpec] = {}
+        #: bumped on every fault/straggler/crash mutation.  The vectorized
+        #: fast-forward hoists its O(P) per-phase eligibility scans to
+        #: session start and re-checks only this counter per phase: any
+        #: mid-run fault injection invalidates the cached verdicts.
+        self.fault_epoch = 0
         # --- fail-stop state (crashes are permanent; sets only grow) ---
         self.dead_hosts: Set[int] = set()
         self.dead_switches: Set[str] = set()
@@ -241,10 +246,12 @@ class Fabric:
 
     def set_fault(self, src: str, dst: str, fault: Optional[FaultSpec]) -> None:
         """Install a fault spec on one directed channel."""
+        self.fault_epoch += 1
         self.channels[(src, dst)].fault = fault
 
     def set_fault_all(self, fault_factory) -> None:
         """Install ``fault_factory(src, dst) -> FaultSpec|None`` everywhere."""
+        self.fault_epoch += 1
         for (src, dst), ch in self.channels.items():
             ch.fault = fault_factory(src, dst)
 
@@ -254,6 +261,7 @@ class Fabric:
         extra delay per CQE poll."""
         if not 0 <= host < self.n_hosts:
             raise ValueError(f"host {host} out of range")
+        self.fault_epoch += 1
         if spec is None:
             self._stragglers.pop(host, None)
         else:
@@ -297,6 +305,7 @@ class Fabric:
             a, b = spec.link  # type: ignore[misc]
             if (a, b) not in self.channels and (b, a) not in self.channels:
                 raise ValueError(f"no link between {a!r} and {b!r}")
+        self.fault_epoch += 1
         self.pending_crashes.add(spec)
         self.sim.post_at(spec.at, self._execute_crash, spec)
 
@@ -346,6 +355,7 @@ class Fabric:
         """Kill host *host* permanently: its NICs (every rail) stop
         transmitting and receiving (wire and loopback) from this instant
         on."""
+        self.fault_epoch += 1
         for nic in self.rail_nics[host]:
             nic.dead = True
             if nic.egress is not None:
@@ -355,6 +365,7 @@ class Fabric:
     def crash_switch(self, name: str) -> None:
         """Kill switch *name* permanently: it black-holes every packet and
         all its ports (both directions) go down."""
+        self.fault_epoch += 1
         sw = self.switches[name]
         sw.dead = True
         for ch in sw.ports.values():
@@ -366,6 +377,7 @@ class Fabric:
 
     def crash_link(self, a: str, b: str) -> None:
         """Take the ``a ↔ b`` link hard-down, both directions."""
+        self.fault_epoch += 1
         found = False
         for pair in ((a, b), (b, a)):
             ch = self.channels.get(pair)

@@ -313,17 +313,86 @@ class Topology:
         With ``exclude``, routes detour around the named dead nodes
         (excluded switches get empty tables; unreachable destinations are
         simply absent from the surviving tables).
+
+        The clean-path build is grouped: every host behind the same set of
+        attachment switches shares one distance field (hosts do not
+        forward, so a route to host *dst* is a switch-graph route to an
+        attachment switch of *dst* plus the final host hop), so one
+        multi-source switch-graph BFS per attachment group replaces one
+        host-rooted BFS per destination.  Candidate lists keep adjacency
+        order and the ``dst % len(candidates)`` tie-break, so the tables
+        are identical entry-for-entry to the per-destination build — at
+        4096 hosts this is the difference between minutes and seconds of
+        fabric construction.
         """
-        tables: Dict[str, Dict[int, str]] = {sw: {} for sw in self.switch_names}
-        for dst in range(self.n_hosts):
-            if exclude and host_name(dst) in exclude:
-                continue
-            dist = self._distances_to(dst, exclude)
-            for sw in self.switch_names:
-                if exclude and sw in exclude:
+        if exclude:
+            # Repair-time reroute: rare, and the exclusion set breaks the
+            # shared-distance-field argument at excluded nodes.  Keep the
+            # simple per-destination build.
+            tables: Dict[str, Dict[int, str]] = {
+                sw: {} for sw in self.switch_names}
+            for dst in range(self.n_hosts):
+                if host_name(dst) in exclude:
                     continue
-                if sw in dist and dist[sw] > 0:
-                    tables[sw][dst] = self.next_hop(sw, dst, exclude)
+                dist = self._distances_to(dst, exclude)
+                for sw in self.switch_names:
+                    if sw in exclude:
+                        continue
+                    if sw in dist and dist[sw] > 0:
+                        tables[sw][dst] = self.next_hop(sw, dst, exclude)
+            return tables
+
+        sw_names = self.switch_names
+        sw_id = {sw: i for i, sw in enumerate(sw_names)}
+        n_sw = len(sw_names)
+        # Switch-only adjacency in original adjacency order (the order the
+        # next_hop candidate tie-break depends on).
+        sw_nbrs: List[List[int]] = [
+            [sw_id[n] for n in self.adjacency[sw] if not is_host(n)]
+            for sw in sw_names
+        ]
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for dst in range(self.n_hosts):
+            att = tuple(sw_id[n] for n in self.adjacency[host_name(dst)]
+                        if not is_host(n))
+            groups.setdefault(att, []).append(dst)
+
+        tables = {sw: {} for sw in sw_names}
+        for att, dsts in groups.items():
+            # Multi-source BFS seeded at the attachment switches with
+            # distance 1 — exactly the switch distances the host-rooted
+            # BFS produces (the host itself is distance 0).
+            dist = [-1] * n_sw
+            queue = collections.deque()
+            for s in att:
+                if dist[s] < 0:
+                    dist[s] = 1
+                    queue.append(s)
+            while queue:
+                u = queue.popleft()
+                d_next = dist[u] + 1
+                for v in sw_nbrs[u]:
+                    if dist[v] < 0:
+                        dist[v] = d_next
+                        queue.append(v)
+            for si in range(n_sw):
+                d = dist[si]
+                if d < 0:
+                    continue  # unreachable: entry absent, as before
+                tbl = tables[sw_names[si]]
+                if d == 1:
+                    # Attachment switch of every dst in the group: the only
+                    # distance-0 candidate is the destination host itself.
+                    for dst in dsts:
+                        tbl[dst] = host_name(dst)
+                    continue
+                target = d - 1
+                cands = [sw_names[v] for v in sw_nbrs[si]
+                         if dist[v] == target]
+                assert cands, "BFS invariant violated"
+                n_c = len(cands)
+                for dst in dsts:
+                    tbl[dst] = cands[dst % n_c]
         return tables
 
     # ------------------------------------------------------------- multicast

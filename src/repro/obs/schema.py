@@ -69,6 +69,10 @@ TRACEPOINTS: Dict[str, Any] = {
                              "(args: chunks, mode)"),
     "engine.ff_exit": ("i", "flow fast-forward fold committed "
                             "(args: until, send_done)"),
+    "engine.shard_sync": ("i", "parallel-DES lookahead window synchronized "
+                               "across shards (args: shards, phase)"),
+    "engine.boundary_xfer": ("i", "boundary injection streams shipped to "
+                                  "shards (args: msgs, bytes)"),
     # -- DPA scheduler ----------------------------------------------------
     "dpa.compute": ("X", "DPA thread occupies a core pipe for a segment"),
 }

@@ -53,13 +53,18 @@ for the rest of that collective so cursors stay exact):
 
 from __future__ import annotations
 
+import os
 from heapq import heappush
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.sequencer import effective_chains
 from repro.net.nic import RecvWR
+from repro.net.plan import PartitionError, partition_fabric
 from repro.net.topology import host_id, is_host
 from repro.sim.engine import _Callback
+from repro.sim.parallel import ParallelEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.communicator import Communicator
@@ -92,13 +97,26 @@ class _Session:
     ``poisoned`` latches on the first abort: once any phase of a
     collective ran at packet level, every later phase must too — the
     analytic worker cursors would otherwise drift from the real ones.
+
+    ``lens``/``wires``/``rx_folds`` are per-phase scratch buffers hoisted
+    to the session so the Allgather chain (O(P) phases) does not allocate
+    three fresh lists per phase.  ``vec`` holds the deferred-commit
+    vectorized session when the collective qualifies (see
+    :class:`_Vec1Session`); ``vec_unsupported`` latches a shape rejection
+    so the probe runs once per collective.
     """
 
-    __slots__ = ("poisoned", "rx")
+    __slots__ = ("poisoned", "rx", "vec", "vec_unsupported",
+                 "lens", "wires", "rx_folds")
 
     def __init__(self) -> None:
         self.poisoned = False
         self.rx: Dict[int, _RxSession] = {}
+        self.vec = None
+        self.vec_unsupported = False
+        self.lens: List[int] = []
+        self.wires: List[int] = []
+        self.rx_folds: List[tuple] = []
 
 
 class FlowFastForward:
@@ -108,11 +126,65 @@ class FlowFastForward:
         self.comm = comm
         self.sim = comm.sim
         self.mode = comm.config.fast_forward  # 'exact' | 'banded'
+        self.vec = comm.config.ff_vectorized
         # --- telemetry (summed into CollectiveResult.engine) ---
         self.ff_phases = 0  #: phases folded analytically
         self.ff_skipped_events = 0  #: estimated packet-level events avoided
         self.ff_aborts = 0  #: eligibility-gate bailouts (fell back)
         self._sessions: Dict[int, _Session] = {}
+        #: parallel host-level engine (lazy; reused across collectives)
+        self.par: Optional[ParallelEngine] = None
+        self._par_key = None
+        # Retired engines' counters (a partition change recreates the
+        # engine; telemetry must survive that).
+        self._sync_rounds_acc = 0
+        self._boundary_msgs_acc = 0
+        #: test hook: exercise the pipe backend below its size threshold
+        self.force_process = False
+
+    # ---------------------------------------------------- parallel plumbing
+
+    def _resolve_shards(self, n_rx: int) -> int:
+        knob = self.comm.config.parallel
+        if knob == "off":
+            return 1
+        if knob == "auto":
+            if n_rx < 256:
+                return 1
+            return min(4, os.cpu_count() or 1)
+        return max(1, int(knob))
+
+    def _get_par(self, slices: List[Tuple[int, int]], backend: str
+                 ) -> ParallelEngine:
+        key = (tuple(slices), backend)
+        if self.par is None or self._par_key != key:
+            if self.par is not None:
+                self._sync_rounds_acc += self.par.sync_rounds
+                self._boundary_msgs_acc += self.par.boundary_msgs
+                self.par.close()
+            self.par = ParallelEngine(slices, backend)
+            self._par_key = key
+        return self.par
+
+    def total_sync_rounds(self) -> int:
+        return self._sync_rounds_acc + (
+            self.par.sync_rounds if self.par is not None else 0)
+
+    def total_boundary_msgs(self) -> int:
+        return self._boundary_msgs_acc + (
+            self.par.boundary_msgs if self.par is not None else 0)
+
+    def preempt_vec(self) -> None:
+        """Flush every deferred vectorized session *now* — called before a
+        second collective is admitted, whose packet-level traffic would
+        otherwise observe the deferred channel state.  Mirrors the
+        ``ff_exclusive`` gate: the first collective simply stops folding."""
+        for sess in self._sessions.values():
+            if sess.vec is not None:
+                sess.vec.abort_flush()
+                sess.vec = None
+                sess.poisoned = True
+                self.ff_aborts += 1
 
     # ------------------------------------------------------------ entry point
 
@@ -125,6 +197,12 @@ class FlowFastForward:
         sess = self._session(op.coll_id)
         done = self._attempt(engine, op, participants, sess)
         if done is None:
+            if sess.vec is not None:
+                # A generic gate (or the vec session's own) failed with a
+                # deferred-commit session live: flush it before the packet
+                # path can observe the stale channel/bitmap state.
+                sess.vec.abort_flush()
+                sess.vec = None
             self.ff_aborts += 1
             sess.poisoned = True
         return done
@@ -181,6 +259,23 @@ class FlowFastForward:
             return None
         engines = comm.engines
         cid = op.coll_id
+
+        # --- vectorized deferred-commit Allgather (DESIGN §6f) ------------
+        # All gates above are O(1); the per-participant scan and the
+        # per-receiver fold below are the O(P)-per-phase work the vec
+        # session hoists to session init, making the chain O(P) overall.
+        vs = sess.vec
+        if vs is not None:
+            return vs.fold_phase(engine, op)
+        if (op.kind == "allgather" and n_chunks == 1 and self.vec
+                and not fabric._stragglers and not sess.vec_unsupported):
+            vs = _Vec1Session.build(self, engine, op, participants, sess)
+            if vs is None:
+                sess.vec_unsupported = True
+            else:
+                sess.vec = vs
+                return vs.fold_phase(engine, op)
+
         for r in participants:
             op_r = engines[r].ops.get(cid)
             if op_r is None or op_r.aborted or op_r.stats["recoveries"]:
@@ -189,8 +284,14 @@ class FlowFastForward:
         uc = cfg.transport == "uc"
         plan = op.plan
         header = engine.nic.header_bytes
-        lens = [plan.bounds(psn)[1] for psn in range(op.send_lo, op.send_hi)]
-        wires = [ln + header for ln in lens]
+        lens = sess.lens
+        del lens[:]
+        for psn in range(op.send_lo, op.send_hi):
+            lens.append(plan.bounds(psn)[1])
+        wires = sess.wires
+        del wires[:]
+        for ln in lens:
+            wires.append(ln + header)
         gid = comm.mcast_gids[0]
 
         # --- sender fold: doorbell batching + egress busy chain -----------
@@ -217,17 +318,30 @@ class FlowFastForward:
 
         # --- receiver folds: worker chain + staging DMA drain -------------
         t_hook = sim.now
-        rx_folds = []
+        rx_folds = sess.rx_folds
+        del rx_folds[:]
         fin_max = send_done
-        for host, arrivals in arrivals_by_host.items():
-            rank = rx_ranks[host]
-            fold = self._fold_receiver(engines[rank], engines[rank].ops[cid],
-                                       arrivals, lens, uc, sess, t_hook)
-            if fold is None:
+        if (self.vec and n_chunks >= 4 and not fabric._stragglers
+                and n_chunks * len(arrivals_by_host) >= 512):
+            # Matrix path: the per-receiver chains are independent, so the
+            # chunk loop runs as [n_rx]-wide array ops (same expressions,
+            # same order — bitwise identical to _fold_receiver).
+            fin_max = self._fold_receivers_vec(
+                engines, rx_ranks, arrivals_by_host, cid, lens, uc, sess,
+                t_hook, rx_folds, fin_max)
+            if fin_max is None:
                 return None
-            rx_folds.append(fold)
-            if fold[4] > fin_max:
-                fin_max = fold[4]
+        else:
+            for host, arrivals in arrivals_by_host.items():
+                rank = rx_ranks[host]
+                fold = self._fold_receiver(engines[rank],
+                                           engines[rank].ops[cid],
+                                           arrivals, lens, uc, sess, t_hook)
+                if fold is None:
+                    return None
+                rx_folds.append(fold)
+                if fold[4] > fin_max:
+                    fin_max = fold[4]
 
         # --- global deadline gate: the fold must land before any armed
         # (or arming) cutoff can fire, so recovery/fetch never observes the
@@ -449,6 +563,83 @@ class FlowFastForward:
             return None
         return (rx_engine, op_r, qp, rx, fin, t, dma_busy, arrivals[-1])
 
+    def _fold_receivers_vec(self, engines, rx_ranks, arrivals_by_host,
+                            cid: int, lens: List[int], uc: bool,
+                            sess: _Session, t_hook: float,
+                            rx_folds: List[tuple], fin_max: float):
+        """Vectorized :meth:`_fold_receiver`: one ``[n_rx]`` array op chain
+        instead of a Python loop per receiver.
+
+        ``numpy``'s elementwise ``maximum``/add are the same IEEE-754
+        operations the scalar expressions evaluate, in the same order per
+        receiver, so every fold tuple is bit-identical to the scalar path.
+        Only called with no straggler specs installed (``straggler_inert``
+        is then trivially true for every window — same gate outcome).
+        Returns the updated ``fin_max``, or ``None`` on any gate failure
+        (no state committed either way).
+        """
+        items = list(arrivals_by_host.items())
+        n_rx = len(items)
+        n = len(lens)
+        rx_engines = []
+        ops_r = []
+        qps = []
+        rxs = []
+        t0 = np.empty(n_rx)
+        dma0 = np.empty(n_rx)
+        for k, (host, arrivals) in enumerate(items):
+            rank = rx_ranks[host]
+            e = engines[rank]
+            qp = e.sub_qps[0]
+            if n > len(qp.recv_queue):
+                return None
+            rx = sess.rx.get(rank)
+            if rx is None:
+                rx = sess.rx[rank] = _RxSession()
+            if arrivals[0] <= rx.last_arrival:
+                return None
+            rx_engines.append(e)
+            ops_r.append(e.ops[cid])
+            qps.append(qp)
+            rxs.append(rx)
+            t0[k] = rx.cursor
+            dma0[k] = e.dma.busy_until
+        # Every rank shares the communicator's cost model object, so the
+        # scalar constants are uniform across the receiver axis.
+        cost = rx_engines[0].cost
+        c1 = cost.cqe_poll + cost.cqe_process
+        # (n, n_rx) with contiguous per-chunk rows for the chunk loop.
+        cols = np.ascontiguousarray(np.array([a for _, a in items]).T)
+        t = t0
+        if uc:
+            c2 = cost.recv_repost
+            for i in range(n):
+                anchor = np.maximum(cols[i], t)
+                t = anchor + c1
+                t = t + c2
+            fins = t
+            dma_busy = dma0
+        else:
+            c2 = cost.copy_issue + cost.recv_repost
+            dma_bw = np.array([e.dma.bandwidth for e in rx_engines])
+            dma_lat = np.array([e.dma.latency for e in rx_engines])
+            dma_busy = dma0
+            for i in range(n):
+                anchor = np.maximum(cols[i], t)
+                t = anchor + c1
+                t = t + c2
+                start = np.maximum(t, dma_busy)
+                dma_busy = start + lens[i] / dma_bw
+            fins = dma_busy + dma_lat
+        for k in range(n_rx):
+            fin = float(fins[k])
+            rx_folds.append((rx_engines[k], ops_r[k], qps[k], rxs[k], fin,
+                             float(t[k]), float(dma_busy[k]),
+                             items[k][1][-1]))
+            if fin > fin_max:
+                fin_max = fin
+        return fin_max
+
     def _deadlines_clear(self, participants: List[int], cid: int,
                          t_hook: float, fin_max: float) -> bool:
         comm = self.comm
@@ -602,6 +793,687 @@ class FlowFastForward:
             staging.reposts += len(wrs)
         op_r.ff_hold -= 1
         op_r.maybe_complete()
+
+
+class _Vec1Session:
+    """Deferred-commit vectorized session for the single-chunk Allgather
+    chain (DESIGN §6f) — the path that makes 4096+-host allgathers CI-fast.
+
+    The chain schedule serializes P phases, each a one-chunk multicast
+    whose tree walk and P-1 receiver folds cost O(P) Python per phase in
+    the generic fold — O(P²) interpreter time per collective.  This
+    session exploits the schedule's structural invariants instead:
+
+    * every phase crosses the same two-level tree (sender → its leaf →
+      root → other leaves → hosts), so the per-switch fan-out reduces to
+      one scalar up-chain plus one ``[n_leaves]`` vector of down-chains;
+    * every host appears in exactly one leaf, so the P-1 receiver chains
+      are independent elementwise recurrences over ``[P]`` arrays —
+      computed by :class:`repro.sim.parallel.ShardCore`, optionally
+      sharded across processes along the fabric partition;
+    * phases are serialized by bypass-lane MSG_ACTIVATE control messages
+      that never touch a channel's ``busy_until``, so **all** object-level
+      commits (channel watermarks, counters, bitmaps, payload copies) can
+      be deferred: arrays carry the state between phases, and the objects
+      are written once — at each rank's completion instant and in one
+      global flush at the last fold (or at an abort).
+
+    Exactness: every expression replicates the generic fold's float
+    arithmetic elementwise (numpy float64 ops are the same IEEE-754
+    operations), so committed instants are bit-identical to the scalar
+    engine for every shard count and backend.  Gate *strictness* may
+    diverge (this session caches conservative bounds where the scalar
+    fold recomputes); in exact mode that is invisible — the packet path
+    the abort falls back to is itself bitwise-identical to the fold.
+
+    Known seam: the scalar fold pops a receive WR per fold and re-posts
+    it at the fold's finisher; this session leaves the queue untouched
+    (the popped WR is field-for-field its own repost — UC dummies, UD
+    cached staging WRs — so the rotation is unobservable).  After an
+    abort, queue *depth* can therefore transiently exceed the scalar
+    engine's until the pending finisher instants pass; a divergence would
+    additionally require an RNR-drop in that window, i.e. a posted depth
+    smaller than the phases in flight, which the no-RNR envelope gate
+    refuses to fold in the first place.
+    """
+
+    def __init__(self) -> None:  # populated by build()
+        self.done = False
+        self.aborted = False
+
+    # ------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, ff: "FlowFastForward", engine: "RankEngine",
+              op: "OpState", participants: List[int], sess: _Session):
+        """Probe the collective's shape and hoist every per-phase gate
+        that is O(P) or O(tree); returns ``None`` (no state touched) when
+        unsupported — the generic fold then takes over."""
+        comm = ff.comm
+        cfg = comm.config
+        fabric = comm.fabric
+        engines = comm.engines
+        cid = op.coll_id
+        ranks = list(participants)
+        P = len(ranks)
+        if P < 2 or len(set(ranks)) != P:
+            return None
+        uc = cfg.transport == "uc"
+        header = engine.nic.header_bytes
+
+        ops: List["OpState"] = []
+        hosts: List[int] = []
+        psn_set = set()
+        for r in ranks:
+            op_r = engines[r].ops.get(cid)
+            if (op_r is None or op_r.aborted or op_r.stats["recoveries"]
+                    or op_r.send_hi - op_r.send_lo != 1
+                    or op_r.n_chunks != P):
+                return None
+            psn_set.add(op_r.send_lo)
+            ops.append(op_r)
+            hosts.append(comm.host_of(r))
+        if len(psn_set) != P or len(set(hosts)) != P:
+            return None
+
+        # --- tree shape: a two-level star of switches ---------------------
+        gid = comm.mcast_gids[0]
+        tree: Dict[str, set] = {}
+        for name, sw in fabric.switches.items():
+            ports = sw.mcast_table.get(gid)
+            if ports:
+                if sw.dead:
+                    return None
+                tree[name] = set(ports)
+        if not tree:
+            return None
+        sw_nbrs = {s: {p for p in ports if not is_host(p)}
+                   for s, ports in tree.items()}
+        if len(tree) == 1:
+            root = next(iter(tree))
+        else:
+            root = None
+            for s, nb in sw_nbrs.items():
+                if len(nb) == len(tree) - 1:
+                    root = s
+                    break
+            if root is None:
+                return None
+            for s, nb in sw_nbrs.items():
+                if s != root and nb != {root}:
+                    return None
+        host_sw: Dict[int, str] = {}
+        host_port: Dict[int, str] = {}
+        for s, ports in tree.items():
+            for p in ports:
+                if is_host(p):
+                    h = host_id(p)
+                    if h in host_sw:
+                        return None
+                    host_sw[h] = s
+                    host_port[h] = p
+        if set(host_sw) != set(hosts):
+            return None
+
+        # --- partition-aware ordering -------------------------------------
+        try:
+            part = partition_fabric(fabric, ff._resolve_shards(P))
+        except PartitionError:
+            return None
+        canon = {s: i for i, s in enumerate(fabric.topology.switch_names)}
+        if any(s not in canon for s in tree):
+            return None
+        bswitches = sorted(tree, key=lambda s: (part.switch_shard[s],
+                                                canon[s]))
+        bpos = {s: i for i, s in enumerate(bswitches)}
+        n_sh = part.n_shards
+        leaf_slices: List[Tuple[int, int]] = []
+        i = 0
+        for k in range(n_sh):
+            lo = i
+            while (i < len(bswitches)
+                   and part.switch_shard[bswitches[i]] == k):
+                i += 1
+            leaf_slices.append((lo, i))
+        if i != len(bswitches):
+            return None
+        host_of_rank = dict(zip(ranks, hosts))
+        perm = sorted(ranks, key=lambda r: (
+            part.switch_shard[host_sw[host_of_rank[r]]],
+            bpos[host_sw[host_of_rank[r]]], r))
+        pos = {r: j for j, r in enumerate(perm)}
+        rx_slices: List[Tuple[int, int]] = []
+        i = 0
+        for k in range(n_sh):
+            lo = i
+            while (i < P and part.switch_shard[
+                    host_sw[host_of_rank[perm[i]]]] == k):
+                i += 1
+            rx_slices.append((lo, i))
+        if i != P:
+            return None
+
+        self = cls()
+        self.ff = ff
+        self.comm = comm
+        self.sim = ff.sim
+        self.fabric = fabric
+        self.sess = sess
+        self.uc = uc
+        self.P = P
+        self.header = header
+        self.perm = perm
+        self.pos = pos
+        self.rank_order = sorted(range(P), key=lambda j: perm[j])
+        self.engines_p = [engines[r] for r in perm]
+        self.ops = [engines[r].ops[cid] for r in perm]
+        self.qps = [e.sub_qps[0] for e in self.engines_p]
+        self.epoch0 = fabric.fault_epoch
+
+        # --- per-rank geometry, channels, wire sizes ----------------------
+        lens_i: List[int] = []
+        wires_i: List[int] = []
+        lo_offs: List[int] = []
+        psns: List[int] = []
+        hd_ch = []
+        eg_ch = []
+        # Fault presence is snapshotted here: a mid-session ``set_fault``
+        # bumps ``fault_epoch`` and aborts before another fold commits, so
+        # every folded phase ran under the build-time fault state — the
+        # flush must keep ``_droppable_seq`` in lockstep with *that*.
+        hd_fault = []
+        eg_fault = []
+        up_fault = []
+        down_fault = []
+        max_bypass = 0
+        hd_busy = np.empty(P)
+        hd_bw = np.empty(P)
+        hd_lat = np.empty(P)
+        eg_busy = np.empty(P)
+        eg_bw = np.empty(P)
+        eg_lat = np.empty(P)
+        d_sw = np.empty(P)
+        s_bpos = np.empty(P, dtype=np.intp)
+        for j in range(P):
+            op_j = self.ops[j]
+            h = host_of_rank[perm[j]]
+            sw_name = host_sw[h]
+            off, ln = op_j.plan.bounds(op_j.send_lo)
+            lens_i.append(ln)
+            wires_i.append(ln + header)
+            lo_offs.append(off)
+            psns.append(op_j.send_lo)
+            ch = fabric.switches[sw_name].ports.get(host_port[h])
+            eg = self.engines_p[j].nic.egress
+            if (ch is None or ch.down or not ch.fault_inert()
+                    or eg is None or eg.down or not eg.fault_inert()
+                    or eg.dst_name != sw_name):
+                return None
+            max_bypass = max(max_bypass, ch.ctrl_bypass_bytes,
+                             eg.ctrl_bypass_bytes)
+            hd_ch.append(ch)
+            eg_ch.append(eg)
+            hd_fault.append(ch.fault is not None)
+            eg_fault.append(eg.fault is not None)
+            hd_busy[j] = ch.busy_until
+            hd_bw[j] = ch.bandwidth
+            hd_lat[j] = ch.latency
+            eg_busy[j] = eg.busy_until
+            eg_bw[j] = eg.bandwidth
+            eg_lat[j] = eg.latency
+            d_sw[j] = fabric.switches[sw_name].forwarding_delay
+            s_bpos[j] = bpos[sw_name]
+
+        leaves = [s for s in bswitches if s != root]
+        n_leaves = len(leaves)
+        leaf_idx = {s: u for u, s in enumerate(leaves)}
+        up_ch = []
+        down_ch = []
+        up_busy = np.empty(n_leaves)
+        up_bw = np.empty(n_leaves)
+        up_lat = np.empty(n_leaves)
+        down_busy = np.empty(n_leaves)
+        down_bw = np.empty(n_leaves)
+        down_lat = np.empty(n_leaves)
+        d_leaf = np.empty(n_leaves)
+        for u, s in enumerate(leaves):
+            upc = fabric.switches[s].ports.get(root)
+            dnc = fabric.switches[root].ports.get(s)
+            if (upc is None or upc.down or not upc.fault_inert()
+                    or dnc is None or dnc.down or not dnc.fault_inert()):
+                return None
+            max_bypass = max(max_bypass, upc.ctrl_bypass_bytes,
+                             dnc.ctrl_bypass_bytes)
+            up_ch.append(upc)
+            down_ch.append(dnc)
+            up_fault.append(upc.fault is not None)
+            down_fault.append(dnc.fault is not None)
+            up_busy[u] = upc.busy_until
+            up_bw[u] = upc.bandwidth
+            up_lat[u] = upc.latency
+            down_busy[u] = dnc.busy_until
+            down_bw[u] = dnc.bandwidth
+            down_lat[u] = dnc.latency
+            d_leaf[u] = fabric.switches[s].forwarding_delay
+        if min(wires_i) <= max_bypass:
+            return None
+
+        self.lens_i = lens_i
+        self.wires_i = wires_i
+        self.lens_f = [float(x) for x in lens_i]
+        self.wires_f = [float(x) for x in wires_i]
+        self.lo_offs = lo_offs
+        self.psns = psns
+        self.hd_ch = hd_ch
+        self.eg_ch = eg_ch
+        self.hd_fault = hd_fault
+        self.eg_fault = eg_fault
+        self.up_fault = up_fault
+        self.down_fault = down_fault
+        self.eg_busy = eg_busy
+        self.eg_bw = eg_bw
+        self.eg_lat = eg_lat
+        self.d_sw = d_sw
+        self.s_bpos = s_bpos
+        self.s_leafidx = np.array(
+            [leaf_idx.get(host_sw[host_of_rank[perm[j]]], -1)
+             for j in range(P)], dtype=np.intp)
+        self.root = root
+        self.root_bpos = bpos[root]
+        self.d_root = float(fabric.switches[root].forwarding_delay)
+        self.n_leaves = n_leaves
+        self.leaves = leaves
+        self.up_ch = up_ch
+        self.down_ch = down_ch
+        self.up_busy = up_busy
+        self.up_bw = up_bw
+        self.up_lat = up_lat
+        self.down_busy = down_busy
+        self.down_bw = down_bw
+        self.down_lat = down_lat
+        self.d_leaf = d_leaf
+        self.leaf_bidx = np.array([bpos[s] for s in leaves], dtype=np.intp)
+        self.tree_sw = [(fabric.switches[s], len(tree[s])) for s in tree]
+        self.chans_per_phase = 1 + sum(len(p) - 1 for p in tree.values())
+        self.n_b = len(bswitches)
+        self.b_scratch = np.empty(self.n_b)
+
+        # --- hoisted per-phase gates --------------------------------------
+        cost = engine.cost
+        self.sb1 = cost.send_batch(1)
+        self.init_min_qlen = min(len(qp.recv_queue) for qp in self.qps)
+        if self.init_min_qlen < 1:
+            return None
+        md = _INF
+        unarmed: List[int] = []
+        expslack = np.zeros(P)
+        n_workers = max(cfg.recv_workers or cfg.n_subgroups, 1)
+        for j in range(P):
+            d = self.ops[j].cutoff_deadline
+            if d < _INF:
+                if d < md:
+                    md = d
+            else:
+                e = self.engines_p[j]
+                sw_rate = (
+                    e.cost.recv_rate(cfg.chunk_size, uc=uc) * n_workers
+                    if e.cost.per_recv_chunk > 0
+                    else _INF
+                )
+                recv_rate = min(fabric.link_bandwidth, sw_rate)
+                expected = self.ops[j].plan.buffer_len / recv_rate
+                slack = (e.cutoff.slack() if cfg.adaptive_cutoff
+                         else cfg.cutoff_alpha)
+                expslack[j] = expected + slack
+                unarmed.append(j)
+        self.md = md
+        self.unarmed = unarmed
+        self.expslack = expslack
+
+        # --- schedule state -----------------------------------------------
+        self.buffer_len = op.plan.buffer_len
+        self.gather = np.empty(self.buffer_len, dtype=np.uint8)
+        self.env = np.empty(P)
+        self.ptr = 0
+        self.nfolded = 0
+        self.folded: List[int] = []
+        self.sent = [False] * P
+        self.completed = [False] * P
+
+        # --- shard engine --------------------------------------------------
+        backend = ("process"
+                   if n_sh > 1 and (P >= 8192 or ff.force_process)
+                   else "inline")
+        state = {
+            "uc": uc,
+            "c1": cost.cqe_poll + cost.cqe_process,
+            "c2": (cost.recv_repost if uc
+                   else cost.copy_issue + cost.recv_repost),
+            "min_deadline": _INF,  # deadline gating is coordinator-side
+            "leaf_of": s_bpos,
+            "bw": hd_bw,
+            "lat": hd_lat,
+            "hd_busy": hd_busy,
+            "cursor": np.zeros(P),
+            "last_arr": np.full(P, -_INF),
+        }
+        if not uc:
+            state["dma_bw"] = np.array(
+                [e.dma.bandwidth for e in self.engines_p])
+            state["dma_lat"] = np.array(
+                [e.dma.latency for e in self.engines_p])
+            state["dma_busy"] = np.array(
+                [e.dma.busy_until for e in self.engines_p])
+        self.par = ff._get_par(rx_slices, backend)
+        self.par.start_session(state, leaf_slices)
+        return self
+
+    # ------------------------------------------------------------ per phase
+
+    def fold_phase(self, engine: "RankEngine",
+                   op: "OpState") -> Optional[float]:
+        """Fold one chain phase; returns the sender's ``run_send`` done
+        instant, or ``None`` after flushing + aborting the session."""
+        sim = self.sim
+        t_hook = sim.now
+        if self.done or self.aborted:
+            return self.abort_flush()
+        if self.fabric.fault_epoch != self.epoch0:
+            return self.abort_flush()
+        i = self.pos.get(engine.rank, -1)
+        if i < 0 or self.sent[i] or op is not self.ops[i]:
+            return self.abort_flush()
+        if len(engine.send_cq):
+            return self.abort_flush()
+        # --- cutoff-deadline gate (conservative, O(#still-unarmed)) ------
+        md = self.md
+        un = self.unarmed
+        if un:
+            k = 0
+            for idx in un:
+                d = self.ops[idx].cutoff_deadline
+                if d < _INF:
+                    if d < md:
+                        md = d
+                else:
+                    un[k] = idx
+                    k += 1
+            del un[k:]
+            self.md = md
+        md_eff = md
+        if un:
+            bound = t_hook + min(self.expslack[idx] for idx in un)
+            if bound < md_eff:
+                md_eff = bound
+        if md_eff <= t_hook:
+            return self.abort_flush()
+        # --- no-RNR envelope: posted depth must cover phases in flight ---
+        nf = self.nfolded
+        env = self.env
+        ptr = self.ptr
+        while ptr < nf and env[ptr] <= t_hook:
+            ptr += 1
+        self.ptr = ptr
+        if self.init_min_qlen - (nf - ptr) < 1:
+            return self.abort_flush()
+
+        w = self.wires_f[i]
+        ln = self.lens_f[i]
+        # --- sender egress: _fold_sender for a single 1-packet batch -----
+        t0 = t_hook + self.sb1
+        prev = self.eg_busy[i]
+        start = t0 if t0 > prev else prev
+        eg_new = start + w / self.eg_bw[i]
+        send_done = eg_new if eg_new > t0 else t0
+        arr0 = eg_new + self.eg_lat[i]
+        # --- up-chain: sender's leaf, then (if distinct) the root --------
+        d_as = self.d_sw[i]
+        inj_as = arr0 + d_as if d_as > 0.0 else arr0
+        u = self.s_leafidx[i]
+        if u >= 0:
+            ustart = inj_as if inj_as > self.up_busy[u] else self.up_busy[u]
+            up_new = ustart + w / self.up_bw[u]
+            arr_r = up_new + self.up_lat[u]
+            inj_r = arr_r + self.d_root if self.d_root > 0.0 else arr_r
+        else:
+            up_new = 0.0
+            inj_r = inj_as
+        # --- root fan-out: [n_leaves] vector of down-chains --------------
+        b = self.b_scratch
+        if self.n_leaves:
+            dstart = np.maximum(inj_r, self.down_busy)
+            dnew = dstart + w / self.down_bw
+            inj_l = (dnew + self.down_lat) + self.d_leaf
+            if u >= 0:
+                dnew[u] = self.down_busy[u]  # sender's leaf: no down hop
+            b[self.leaf_bidx] = inj_l
+        else:
+            dnew = None
+        b[self.root_bpos] = inj_r
+        b[self.s_bpos[i]] = inj_as
+        # --- shard sync: one lookahead window over the cut edges ---------
+        want_fins = nf >= self.P - 2
+        ok, fin_rx, fins = self.par.phase(w, ln, b, i, want_fins)
+        if not ok:
+            return self.abort_flush()
+        fin_all = fin_rx if fin_rx > send_done else send_done
+        if fin_all >= md_eff:
+            return self.abort_flush()
+
+        # ------------------------------------------------------- commit
+        self.eg_busy[i] = eg_new
+        if u >= 0:
+            self.up_busy[u] = up_new
+        if dnew is not None:
+            self.down_busy = dnew
+        self.sent[i] = True
+        self.folded.append(i)
+        env[nf] = fin_all if nf == 0 or fin_all > env[nf - 1] else env[nf - 1]
+        self.nfolded = nf + 1
+        lo = self.lo_offs[i]
+        self.gather[lo:lo + self.lens_i[i]] = \
+            op.mr.buf[lo:lo + self.lens_i[i]]
+
+        # --- completions: delivered(r) == P-1 ----------------------------
+        nf1 = nf + 1
+        if nf1 >= self.P - 1:
+            # Fixed ascending-rank order keeps the event heap identical
+            # for every shard count.
+            for j in self.rank_order:
+                if self.completed[j]:
+                    continue
+                if nf1 - (1 if self.sent[j] else 0) == self.P - 1:
+                    self.completed[j] = True
+                    sim.post_at(float(fins[j]), self._complete_rx, j)
+        if nf1 == self.P:
+            state = self.par.final_state()
+            self.par.end_session()
+            self._flush_fabric(state)
+            self.done = True
+            self.sess.vec = None
+
+        # --- watchdog liveness over the folded window --------------------
+        if sim._wd_armed and sim._wd_interval > 0.0:
+            step = sim._wd_interval / 2.0
+            tick = t_hook + step
+            while tick < fin_all:
+                sim.post_at(tick, sim.note_progress)
+                tick += step
+        # --- telemetry ----------------------------------------------------
+        ff = self.ff
+        ff.ff_phases += 1
+        ff.ff_skipped_events += self.chans_per_phase + 3 * (self.P - 1) + 2
+        trc = engine.trace
+        if trc is not None:
+            trc.instant("engine.ff_enter", t_hook,
+                        {"chunks": 1, "mode": ff.mode})
+            trc.instant("engine.shard_sync", t_hook,
+                        {"shards": self.par.n_shards, "phase": nf})
+            trc.instant("engine.boundary_xfer", t_hook,
+                        {"msgs": 2 * self.par.n_shards,
+                         "bytes": 8 * self.n_b})
+            trc.instant("engine.ff_exit", t_hook,
+                        {"until": fin_all, "send_done": send_done})
+        return send_done
+
+    # --------------------------------------------------------- completion
+
+    def _complete_rx(self, j: int) -> None:
+        """One event per rank, at its exact ``data_done`` instant: commit
+        its bitmap, payload and stats, then let the op complete."""
+        op_r = self.ops[j]
+        newly = op_r.bitmap.set_range(0, self.P)
+        op_r.placed.set_range(0, self.P)
+        lo = self.lo_offs[j]
+        hi = lo + self.lens_i[j]
+        buf = op_r.mr.buf
+        buf[0:lo] = self.gather[0:lo]
+        buf[hi:self.buffer_len] = self.gather[hi:self.buffer_len]
+        op_r.stats["chunks_received"] += newly
+        op_r.maybe_complete()
+
+    # -------------------------------------------------------------- flush
+
+    def abort_flush(self) -> None:
+        """Commit every folded phase's deferred state *now* and retire the
+        session: the packet path resumes from object state identical to
+        what the generic fold would have committed eagerly (WR queue depth
+        aside — see the class docstring)."""
+        if self.done or self.aborted:
+            return None
+        self.aborted = True
+        sim = self.sim
+        now = sim.now
+        self.par.rollback()  # drop any tentative (uncommitted) phase
+        state = self.par.final_state()
+        self.par.end_session()
+        self._flush_fabric(state)
+        # --- per-rank partial bitmap/payload from the folded psn runs -----
+        runs = self._psn_runs()
+        last_fin = state["last_fin"]
+        for j in range(self.P):
+            if self.completed[j]:
+                continue  # its pending completion event commits everything
+            op_r = self.ops[j]
+            got = 0
+            for psn0, cnt in runs:
+                got += op_r.bitmap.set_range(psn0, cnt)
+                op_r.placed.set_range(psn0, cnt)
+                b0 = op_r.plan.bounds(psn0)[0]
+                b1_off, b1_len = op_r.plan.bounds(psn0 + cnt - 1)
+                op_r.mr.buf[b0:b1_off + b1_len] = \
+                    self.gather[b0:b1_off + b1_len]
+            op_r.stats["chunks_received"] += got
+            lf = float(last_fin[j])
+            if lf > now:
+                # The last folded receive is still "in flight": hold
+                # completion to its finisher instant, like the scalar fold.
+                op_r.ff_hold += 1
+                sim.post_at(lf, self._release_hold, j)
+        self.sess.vec = None
+        return None
+
+    def _release_hold(self, j: int) -> None:
+        op_r = self.ops[j]
+        op_r.ff_hold -= 1
+        op_r.maybe_complete()
+
+    def _psn_runs(self) -> List[Tuple[int, int]]:
+        psns = sorted(self.psns[j] for j in self.folded)
+        runs: List[Tuple[int, int]] = []
+        i = 0
+        n = len(psns)
+        while i < n:
+            j = i + 1
+            while j < n and psns[j] == psns[j - 1] + 1:
+                j += 1
+            runs.append((psns[i], j - i))
+            i = j
+        return runs
+
+    def _flush_fabric(self, state: Dict[str, np.ndarray]) -> None:
+        """Write every deferred fabric-level counter and watermark in one
+        pass: closed forms over the folded phase set (all P phases on the
+        happy path), identical totals to per-phase eager commits."""
+        folded = self.folded
+        nf = len(folded)
+        header = self.header
+        wires_i = self.wires_i
+        lens_i = self.lens_i
+        wf = sum(wires_i[j] for j in folded)
+        lf_sum = sum(lens_i[j] for j in folded)
+        leaf_w = [0] * self.n_leaves
+        leaf_n = [0] * self.n_leaves
+        for j in folded:
+            u = self.s_leafidx[j]
+            if u >= 0:
+                leaf_w[u] += wires_i[j]
+                leaf_n[u] += 1
+        hd_busy = state["hd_busy"]
+        cursors = state["cursor"]
+        last_arr = state["last_arr"]
+        dma_busy = state.get("dma_busy")
+        sess_rx = self.sess.rx
+        for j in range(self.P):
+            sent_j = self.sent[j]
+            pk = nf - (1 if sent_j else 0)
+            own_w = wires_i[j] if sent_j else 0
+            own_l = lens_i[j] if sent_j else 0
+            e = self.engines_p[j]
+            ch = self.hd_ch[j]
+            ch.busy_until = float(hd_busy[j])
+            ch.bytes_sent += wf - own_w
+            ch.payload_bytes_sent += lf_sum - own_l
+            ch.packets_sent += pk
+            if self.hd_fault[j]:
+                ch._droppable_seq += pk
+            if sent_j:
+                eg = self.eg_ch[j]
+                eg.busy_until = float(self.eg_busy[j])
+                eg.bytes_sent += wires_i[j]
+                eg.payload_bytes_sent += lens_i[j]
+                eg.packets_sent += 1
+                if self.eg_fault[j]:
+                    eg._droppable_seq += 1
+                e.send_cq.total_pushed += 1
+            nic = e.nic
+            nic.packets_received += pk
+            nic.bytes_received += lf_sum - own_l
+            self.qps[j].recv_cq.total_pushed += pk
+            if not self.uc:
+                dma = e.dma
+                dma.busy_until = float(dma_busy[j])
+                dma.bytes_copied += lf_sum - own_l
+                dma.ops += pk
+                e.stagings[0].reposts += pk
+            rank = self.perm[j]
+            rx = sess_rx.get(rank)
+            if rx is None:
+                rx = sess_rx[rank] = _RxSession()
+            rx.cursor = float(cursors[j])
+            rx.last_arrival = float(last_arr[j])
+            if rx.cursor > e.ff_resume_floor:
+                e.ff_resume_floor = rx.cursor
+        for u in range(self.n_leaves):
+            upc = self.up_ch[u]
+            upc.busy_until = float(self.up_busy[u])
+            upc.bytes_sent += leaf_w[u]
+            upc.payload_bytes_sent += leaf_w[u] - leaf_n[u] * header
+            upc.packets_sent += leaf_n[u]
+            if self.up_fault[u]:
+                upc._droppable_seq += leaf_n[u]
+            dnc = self.down_ch[u]
+            dnc.busy_until = float(self.down_busy[u])
+            dnc.bytes_sent += wf - leaf_w[u]
+            dnc.payload_bytes_sent += \
+                (wf - leaf_w[u]) - (nf - leaf_n[u]) * header
+            dnc.packets_sent += nf - leaf_n[u]
+            if self.down_fault[u]:
+                dnc._droppable_seq += nf - leaf_n[u]
+        # Every phase visits every tree switch with exactly one in-port,
+        # so each forwards (tree-ports - 1) packets per folded phase.
+        for sw, nports in self.tree_sw:
+            sw.packets_forwarded += nf * (nports - 1)
 
 
 def _count_trains(flags: List[bool], batch_sizes: List[int]) -> Tuple[int, int]:

@@ -84,6 +84,27 @@ def test_unicast_tables_complete():
             assert dst in tables[sw]
 
 
+def test_unicast_tables_match_per_destination_reference():
+    """The grouped multi-source-BFS table build must be entry-for-entry
+    identical to routing each (switch, dst) pair through next_hop."""
+    fams = [
+        Topology.star(6),
+        Topology.leaf_spine(32, n_leaf=4, n_spine=3),
+        Topology.multi_rail(Topology.leaf_spine(16, 4, 2), 2),
+        Topology.torus([2, 2, 2]),
+        Topology.torus([3, 3], hosts_per_node=2),
+        Topology.dragonfly(3, 2, 2),
+    ]
+    for topo in fams:
+        reference = {sw: {} for sw in topo.switch_names}
+        for dst in range(topo.n_hosts):
+            dist = topo._distances_to(dst)
+            for sw in topo.switch_names:
+                if sw in dist and dist[sw] > 0:
+                    reference[sw][dst] = topo.next_hop(sw, dst)
+        assert topo.unicast_tables() == reference, topo.kind
+
+
 def test_path_endpoint_validation():
     topo = Topology.star(3)
     with pytest.raises(ValueError):

@@ -75,6 +75,24 @@ def test_bitmap_set_range_matches_set_model(n_bits, ranges):
 
 
 @FAST
+@given(
+    n_bits=st.integers(1, 400),
+    bits=st.lists(st.integers(0, 399), max_size=120),
+    prefix=st.one_of(st.none(), st.integers(0, 400)),
+)
+def test_bitmap_missing_runs_match_pure_python_reference(n_bits, bits, prefix):
+    bm = Bitmap(n_bits)
+    for i in bits:
+        bm.set(i % n_bits)
+    if prefix is not None:
+        prefix = min(prefix, n_bits)
+    assert bm.missing_runs(prefix) == bm.missing_runs_ref(prefix)
+    # The all-set early-out must agree with the reference as well.
+    bm.set_range(0, n_bits)
+    assert bm.missing_runs(prefix) == bm.missing_runs_ref(prefix) == []
+
+
+@FAST
 @given(n_bits=st.integers(1, 300), seed=st.integers(0, 1000))
 def test_bitmap_missing_runs_reconstruct_missing(n_bits, seed):
     rng = np.random.default_rng(seed)
